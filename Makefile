@@ -1,0 +1,45 @@
+# coordbot build/test/experiment targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Captures for the repo-root result files.
+test-output:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench-output:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Full-scale reproduction of every paper artifact (~10 min).
+experiments:
+	$(GO) run ./cmd/experiments -scale 1.0 -out results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/gpt2net
+	$(GO) run ./examples/sharereshare
+	$(GO) run ./examples/windowsweep
+	$(GO) run ./examples/refine
+	$(GO) run ./examples/baselinecompare
+	$(GO) run ./examples/distributed
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

@@ -1,0 +1,60 @@
+// Command coordbot-rank is one rank of a multi-process distributed
+// projection: every participating process is launched with the same
+// -addrs list and its own -rank, reads the shared archive keeping only the
+// pages it owns, and writes its shard of the common interaction graph.
+// Concatenating the shards yields the full projection — the deployment
+// shape of the paper's multi-node YGM runs.
+//
+//	coordbot-rank -rank 0 -addrs host0:7000,host1:7000 -in month.ndjson.gz -max 60 -out shard0.tsv &
+//	coordbot-rank -rank 1 -addrs host0:7000,host1:7000 -in month.ndjson.gz -max 60 -out shard1.tsv &
+//	wait && cat shard*.tsv > edges.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coordbot/internal/distrank"
+	"coordbot/internal/projection"
+)
+
+func main() {
+	rank := flag.Int("rank", 0, "this process's rank")
+	addrs := flag.String("addrs", "", "comma-separated rank addresses, in rank order")
+	in := flag.String("in", "", "shared NDJSON(.gz) archive")
+	exclude := flag.String("exclude", "AutoModerator,[deleted]", "authors to exclude")
+	out := flag.String("out", "", "shard output file (default stdout)")
+	min := flag.Int64("min", 0, "window start δ1 (seconds, inclusive)")
+	max := flag.Int64("max", 60, "window end δ2 (seconds, exclusive)")
+	flag.Parse()
+
+	addrList := strings.Split(*addrs, ",")
+	if *addrs == "" || len(addrList) < 1 {
+		fmt.Fprintln(os.Stderr, "coordbot-rank: -addrs is required")
+		os.Exit(2)
+	}
+	var w *os.File = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coordbot-rank:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	err := distrank.Run(distrank.Options{
+		Rank:         *rank,
+		Addrs:        addrList,
+		Input:        *in,
+		Window:       projection.Window{Min: *min, Max: *max},
+		ExcludeNames: strings.Split(*exclude, ","),
+		Out:          w,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordbot-rank:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coordbot/internal/experiments"
+)
+
+func TestWriteArtifacts(t *testing.T) {
+	lab := experiments.NewLab(0.05)
+	dir := t.TempDir()
+	r, err := lab.Figure("f6") // has a histogram
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeArtifacts(dir, r); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "f6.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(raw), "x,y,count\n") {
+		t.Fatalf("csv header wrong: %.40s", raw)
+	}
+	r2, err := lab.Figure("f1") // has a DOT
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeArtifacts(dir, r2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "f1.dot")); err != nil {
+		t.Fatal("missing DOT artifact")
+	}
+}

@@ -1,0 +1,80 @@
+// gpt2net reproduces the paper's §3.1.1 discovery scenario: a ring of
+// GPT-2-style text-generation bots, confined to its own community, is
+// recovered from a month of traffic purely from comment timing — no
+// content inspection — as a connected component of the thresholded common
+// interaction graph (the paper's Figure 1).
+//
+//	go run ./examples/gpt2net [-scale 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/pipeline"
+	"coordbot/internal/projection"
+	"coordbot/internal/redditgen"
+	"coordbot/internal/viz"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "organic corpus scale")
+	dotOut := flag.String("dot", "", "write the recovered network as DOT to this file")
+	flag.Parse()
+
+	fmt.Printf("generating January-2020-like dataset (scale %.2f)…\n", *scale)
+	dataset := redditgen.Generate(redditgen.Jan2020(*scale))
+	btm := dataset.BTM()
+	fmt.Printf("%d comments, %d authors, %d pages\n",
+		btm.NumEdges(), btm.NumAuthors(), btm.NumPages())
+
+	// The paper's Figure 1 parameters: (0s, 60s) window, cutoff 25.
+	res, err := pipeline.Run(btm, pipeline.Config{
+		Window:            projection.Window{Min: 0, Max: 60},
+		MinTriangleWeight: 25,
+		Exclude:           dataset.Helpers,
+		SkipHypergraph:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("components at cutoff 25: %d (paper: 39)\n", len(res.Components))
+
+	names := func(v graph.VertexID) string { return dataset.Authors.Name(v) }
+	truth := make(map[graph.VertexID]bool)
+	for _, id := range dataset.Truth["gpt2"] {
+		truth[id] = true
+	}
+	for i, c := range res.Components {
+		hit := 0
+		for _, a := range c.Authors {
+			if truth[a] {
+				hit++
+			}
+		}
+		if hit == 0 {
+			continue
+		}
+		fmt.Printf("\nGPT-2 ring found as component %d:\n  %s\n", i, viz.Describe(&c, names))
+		fmt.Printf("  %d/%d members are planted GPT-2 bots (ring has %d accounts total;\n",
+			hit, c.Size(), len(dataset.Truth["gpt2"]))
+		fmt.Printf("  the rest were below the weight cutoff, as in the paper's \"lower\n")
+		fmt.Printf("  minimum edge weight … could capture more of the coordinated users\")\n")
+		if *dotOut != "" {
+			f, err := os.Create(*dotOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := viz.WriteDOT(f, &c, "gpt2-network", names); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("  DOT written to %s\n", *dotOut)
+		}
+		return
+	}
+	fmt.Println("GPT-2 ring not recovered — try a larger -scale")
+}

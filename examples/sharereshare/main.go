@@ -1,0 +1,101 @@
+// sharereshare reproduces the paper's §3.1.2 scenario: a link-distribution
+// ("share/reshare") botnet whose members all pile onto a trigger page
+// within seconds. Its projected component is denser and heavier than the
+// GPT-2 ring's — the paper highlights an 8-clique core with edge weights
+// 27–91 — and very short projection windows are enough to capture it.
+//
+//	go run ./examples/sharereshare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/pipeline"
+	"coordbot/internal/projection"
+	"coordbot/internal/redditgen"
+	"coordbot/internal/viz"
+)
+
+func main() {
+	dataset := redditgen.Generate(redditgen.Jan2020(0.25))
+	btm := dataset.BTM()
+
+	truth := make(map[graph.VertexID]bool)
+	for _, id := range dataset.Truth["mlbstreams"] {
+		truth[id] = true
+	}
+	names := func(v graph.VertexID) string { return dataset.Authors.Name(v) }
+
+	// Share/reshare interactions happen within seconds of the trigger, so
+	// even a very short window captures the ring — the paper's point
+	// about targeting behaviour types with the window. Sweep window ends
+	// and watch the ring's component stabilize while cost grows.
+	for _, max := range []int64{10, 30, 60} {
+		res, err := pipeline.Run(btm, pipeline.Config{
+			Window:            projection.Window{Min: 0, Max: max},
+			MinTriangleWeight: 25,
+			Exclude:           dataset.Helpers,
+			SkipHypergraph:    true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ring *graph.Component
+		for i := range res.Components {
+			for _, a := range res.Components[i].Authors {
+				if truth[a] {
+					ring = &res.Components[i]
+					break
+				}
+			}
+			if ring != nil {
+				break
+			}
+		}
+		fmt.Printf("window (0s,%2ds): projection %7d edges; ", max, res.CI.NumEdges())
+		if ring == nil {
+			fmt.Println("ring not recovered")
+			continue
+		}
+		fmt.Printf("ring component: %s\n", viz.Describe(ring, names))
+	}
+
+	// Contrast with the GPT-2 ring at (0s,60s): slower text generation
+	// spreads its interactions out, so it needs the wider window and
+	// still forms a sparser component.
+	res, err := pipeline.Run(btm, pipeline.Config{
+		Window:            projection.Window{Min: 0, Max: 60},
+		MinTriangleWeight: 25,
+		Exclude:           dataset.Helpers,
+		SkipHypergraph:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gptTruth := make(map[graph.VertexID]bool)
+	for _, id := range dataset.Truth["gpt2"] {
+		gptTruth[id] = true
+	}
+	var ring, gpt *graph.Component
+	for i := range res.Components {
+		for _, a := range res.Components[i].Authors {
+			if truth[a] && ring == nil {
+				ring = &res.Components[i]
+			}
+			if gptTruth[a] && gpt == nil {
+				gpt = &res.Components[i]
+			}
+		}
+	}
+	if ring != nil && gpt != nil {
+		fmt.Printf("\nstructure contrast at (0s,60s), cutoff 25:\n")
+		fmt.Printf("  reshare: density %.2f, weights [%d..%d]\n",
+			ring.Density(), ring.MinWeight(), ring.MaxWeight())
+		fmt.Printf("  gpt2:    density %.2f, weights [%d..%d]\n",
+			gpt.Density(), gpt.MinWeight(), gpt.MaxWeight())
+		fmt.Println("  (the paper: share-reshare networks are dense 8-clique-like;")
+		fmt.Println("   text-generation rings are sparser with lighter edges)")
+	}
+}

@@ -1,0 +1,3 @@
+module coordbot
+
+go 1.22

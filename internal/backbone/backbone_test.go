@@ -1,0 +1,152 @@
+package backbone
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/projection"
+	"coordbot/internal/redditgen"
+)
+
+func TestHypergeomPMFSmallExact(t *testing.T) {
+	// Hypergeometric(N=10, K=4, n=5): P[X=2] = C(4,2)C(6,3)/C(10,5)
+	// = 6*20/252 = 10/21.
+	want := 10.0 / 21.0
+	if got := HypergeomPMF(10, 4, 5, 2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("pmf = %v, want %v", got, want)
+	}
+	// Out-of-support values.
+	if HypergeomPMF(10, 4, 5, 5) != 0 { // k > K
+		t.Fatal("k > K should be 0")
+	}
+	if HypergeomPMF(10, 4, 5, -1) != 0 {
+		t.Fatal("negative k should be 0")
+	}
+}
+
+func TestHypergeomPMFSumsToOne(t *testing.T) {
+	for _, tc := range [][3]int{{10, 4, 5}, {50, 20, 15}, {7, 7, 3}} {
+		N, K, n := tc[0], tc[1], tc[2]
+		sum := 0.0
+		for k := 0; k <= n; k++ {
+			sum += HypergeomPMF(N, K, n, k)
+		}
+		if math.Abs(sum-1) > 1e-10 {
+			t.Fatalf("pmf(%d,%d,%d) sums to %v", N, K, n, sum)
+		}
+	}
+}
+
+func TestHypergeomSF(t *testing.T) {
+	if got := HypergeomSF(10, 4, 5, 0); got != 1 {
+		t.Fatalf("SF(k=0) = %v, want 1", got)
+	}
+	if got := HypergeomSF(10, 4, 5, 5); got != 0 { // k beyond support
+		t.Fatalf("SF beyond support = %v, want 0", got)
+	}
+	// SF(k) = sum_{i>=k} pmf(i); check against direct sum.
+	want := 0.0
+	for i := 3; i <= 4; i++ {
+		want += HypergeomPMF(10, 4, 5, i)
+	}
+	if got := HypergeomSF(10, 4, 5, 3); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SF(3) = %v, want %v", got, want)
+	}
+}
+
+func TestQuickSFMonotoneInK(t *testing.T) {
+	// SF is non-increasing in k and in [0,1].
+	f := func(seedN, seedK, seedn uint8) bool {
+		N := int(seedN%40) + 2
+		K := int(seedK) % (N + 1)
+		n := int(seedn) % (N + 1)
+		prev := 1.0
+		for k := 0; k <= n+1; k++ {
+			sf := HypergeomSF(N, K, n, k)
+			if sf < -1e-12 || sf > 1+1e-12 {
+				return false
+			}
+			if sf > prev+1e-12 {
+				return false
+			}
+			prev = sf
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoresOrdering(t *testing.T) {
+	g := graph.NewCIGraph()
+	// Two authors of degree 5 sharing all 5 pages (very surprising when
+	// N=1000) vs two of degree 500 sharing 5 (expected).
+	g.AddEdgeWeight(1, 2, 5)
+	g.SetPageCount(1, 5)
+	g.SetPageCount(2, 5)
+	g.AddEdgeWeight(3, 4, 5)
+	g.SetPageCount(3, 500)
+	g.SetPageCount(4, 500)
+	scores := Scores(g, 1000)
+	if len(scores) != 2 {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	if scores[0].U != 1 || scores[0].P >= scores[1].P {
+		t.Fatalf("tight pair not ranked first: %+v", scores)
+	}
+	if scores[1].P < 0.5 {
+		t.Fatalf("expected co-occurrence scored surprising: %+v", scores[1])
+	}
+}
+
+func TestExtractKeepsSignificantOnly(t *testing.T) {
+	g := graph.NewCIGraph()
+	g.AddEdgeWeight(1, 2, 5)
+	g.SetPageCount(1, 5)
+	g.SetPageCount(2, 5)
+	g.AddEdgeWeight(3, 4, 5)
+	g.SetPageCount(3, 500)
+	g.SetPageCount(4, 500)
+	bb := Extract(g, 1000, 1e-6)
+	if bb.Weight(1, 2) != 5 {
+		t.Fatal("significant edge dropped")
+	}
+	if bb.Weight(3, 4) != 0 {
+		t.Fatal("chance edge kept")
+	}
+	if bb.PageCount(3) != 500 {
+		t.Fatal("page counts not preserved")
+	}
+}
+
+func TestBackboneSeparatesRingFromOrganic(t *testing.T) {
+	// On the tiny dataset, the backbone at a strict alpha keeps the
+	// planted ring's edges and drops the bulk of organic co-occurrence
+	// even WITHOUT any weight threshold.
+	d := redditgen.Generate(redditgen.Tiny(42))
+	b := d.BTM()
+	ci, err := projection.ProjectSequential(b, projection.Window{Min: 0, Max: 60},
+		projection.Options{Exclude: d.Helpers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := Extract(ci, b.NumPages(), 1e-9)
+	if bb.NumEdges() >= ci.NumEdges()/10 {
+		t.Fatalf("backbone kept %d of %d edges — not selective", bb.NumEdges(), ci.NumEdges())
+	}
+	ring := d.Truth["ring"]
+	kept := 0
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			if bb.Weight(ring[i], ring[j]) > 0 {
+				kept++
+			}
+		}
+	}
+	if kept < 15 {
+		t.Fatalf("backbone kept only %d/15 ring-core edges", kept)
+	}
+}

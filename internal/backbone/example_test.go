@@ -1,0 +1,28 @@
+package backbone_test
+
+import (
+	"fmt"
+
+	"coordbot/internal/backbone"
+	"coordbot/internal/graph"
+)
+
+// Two pairs share 5 pages each, but one pair barely posts (5 pages each —
+// sharing all of them is astonishing) while the other is hyperactive (500
+// pages each — sharing 5 is expected). The backbone keeps only the first.
+func ExampleExtract() {
+	g := graph.NewCIGraph()
+	g.AddEdgeWeight(1, 2, 5)
+	g.SetPageCount(1, 5)
+	g.SetPageCount(2, 5)
+	g.AddEdgeWeight(3, 4, 5)
+	g.SetPageCount(3, 500)
+	g.SetPageCount(4, 500)
+
+	bb := backbone.Extract(g, 1000, 1e-6)
+	fmt.Println("tight pair kept:", bb.Weight(1, 2) > 0)
+	fmt.Println("hyperactive pair kept:", bb.Weight(3, 4) > 0)
+	// Output:
+	// tight pair kept: true
+	// hyperactive pair kept: false
+}

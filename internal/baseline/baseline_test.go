@@ -1,0 +1,229 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/pipeline"
+	"coordbot/internal/projection"
+	"coordbot/internal/redditgen"
+)
+
+// twoCliquesBTM: authors 0,1,2 share pages 0-4; authors 10,11 share pages
+// 10-11; author 20 touches one page of each group.
+func twoCliquesBTM() *graph.BTM {
+	var cs []graph.Comment
+	ts := int64(0)
+	for p := graph.VertexID(0); p < 5; p++ {
+		for _, a := range []graph.VertexID{0, 1, 2} {
+			cs = append(cs, graph.Comment{Author: a, Page: p, TS: ts})
+			ts += 1000
+		}
+	}
+	for p := graph.VertexID(10); p < 12; p++ {
+		for _, a := range []graph.VertexID{10, 11} {
+			cs = append(cs, graph.Comment{Author: a, Page: p, TS: ts})
+			ts += 1000
+		}
+	}
+	cs = append(cs,
+		graph.Comment{Author: 20, Page: 0, TS: ts},
+		graph.Comment{Author: 20, Page: 10, TS: ts + 1000},
+	)
+	return graph.BuildBTM(cs, 0, 0)
+}
+
+func TestJaccardValues(t *testing.T) {
+	b := twoCliquesBTM()
+	edges := SimilarityNetwork(b, Options{Method: Jaccard, MinSharedPages: 1})
+	simOf := func(u, v graph.VertexID) float64 {
+		for _, e := range edges {
+			if e.U == u && e.V == v || e.U == v && e.V == u {
+				return e.Sim
+			}
+		}
+		return -1
+	}
+	// Authors 0 and 1 share all 5 pages: J = 1.
+	if s := simOf(0, 1); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("J(0,1) = %f, want 1", s)
+	}
+	// Authors 10 and 11 share both their pages: J = 1.
+	if s := simOf(10, 11); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("J(10,11) = %f, want 1", s)
+	}
+	// Author 20 shares 1 of author 0's 5 pages (20 has 2 pages):
+	// J = 1/(5+2-1) = 1/6.
+	if s := simOf(0, 20); math.Abs(s-1.0/6.0) > 1e-12 {
+		t.Fatalf("J(0,20) = %f, want 1/6", s)
+	}
+}
+
+func TestCosineValues(t *testing.T) {
+	b := twoCliquesBTM()
+	edges := SimilarityNetwork(b, Options{Method: Cosine, MinSharedPages: 1})
+	for _, e := range edges {
+		if e.U == 0 && e.V == 20 {
+			want := 1.0 / math.Sqrt(5*2)
+			if math.Abs(e.Sim-want) > 1e-12 {
+				t.Fatalf("cos(0,20) = %f, want %f", e.Sim, want)
+			}
+		}
+	}
+}
+
+func TestMinSharedPagesFilter(t *testing.T) {
+	b := twoCliquesBTM()
+	edges := SimilarityNetwork(b, Options{Method: Jaccard, MinSharedPages: 2})
+	for _, e := range edges {
+		if e.Shared < 2 {
+			t.Fatalf("edge with %d shared pages survived filter", e.Shared)
+		}
+		if e.U == 20 || e.V == 20 {
+			t.Fatal("author 20 (1 shared page each) must be filtered")
+		}
+	}
+}
+
+func TestDetectComponents(t *testing.T) {
+	b := twoCliquesBTM()
+	res := Detect(b, Options{Method: Jaccard, MinSharedPages: 2, Percentile: 0.01})
+	if len(res.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(res.Groups))
+	}
+	if res.Groups[0].Size() != 3 || res.Groups[1].Size() != 2 {
+		t.Fatalf("group sizes = %d,%d", res.Groups[0].Size(), res.Groups[1].Size())
+	}
+	flagged := res.FlaggedAuthors()
+	if len(flagged) != 5 || flagged[20] {
+		t.Fatalf("flagged = %v", flagged)
+	}
+}
+
+func TestDetectEmpty(t *testing.T) {
+	res := Detect(graph.BuildBTM(nil, 2, 2), Options{})
+	if len(res.Edges) != 0 || len(res.Groups) != 0 {
+		t.Fatal("empty BTM produced detections")
+	}
+}
+
+func TestPercentileThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cs := make([]graph.Comment, 3000)
+	for i := range cs {
+		cs[i] = graph.Comment{
+			Author: graph.VertexID(rng.Intn(40)),
+			Page:   graph.VertexID(rng.Intn(30)),
+			TS:     int64(i),
+		}
+	}
+	b := graph.BuildBTM(cs, 0, 0)
+	res := Detect(b, Options{Method: Jaccard, Percentile: 0.9})
+	if len(res.Kept) == 0 || len(res.Kept) >= len(res.Edges) {
+		t.Fatalf("kept %d of %d", len(res.Kept), len(res.Edges))
+	}
+	for _, e := range res.Kept {
+		if e.Sim < res.Threshold {
+			t.Fatal("kept edge below threshold")
+		}
+	}
+}
+
+func TestMaxPageAuthorsSkipsMegaPages(t *testing.T) {
+	// One page with 300 authors (above the 200 default) and one with 3.
+	var cs []graph.Comment
+	for a := graph.VertexID(0); a < 300; a++ {
+		cs = append(cs, graph.Comment{Author: a, Page: 0, TS: int64(a)})
+	}
+	for _, a := range []graph.VertexID{1, 2, 3} {
+		cs = append(cs, graph.Comment{Author: a, Page: 1, TS: int64(a)})
+		cs = append(cs, graph.Comment{Author: a, Page: 2, TS: int64(a)})
+	}
+	b := graph.BuildBTM(cs, 0, 0)
+	edges := SimilarityNetwork(b, Options{Method: Jaccard, MinSharedPages: 2})
+	for _, e := range edges {
+		if e.U > 3 || e.V > 3 {
+			t.Fatalf("mega-page pair generated: %+v", e)
+		}
+	}
+	if len(edges) != 3 {
+		t.Fatalf("edges = %d, want 3 (pairs of 1,2,3)", len(edges))
+	}
+}
+
+func TestQuickSimilarityBounds(t *testing.T) {
+	// All similarities in [0,1]; Jaccard <= Cosine for each pair.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cs := make([]graph.Comment, 400)
+		for i := range cs {
+			cs[i] = graph.Comment{
+				Author: graph.VertexID(rng.Intn(15)),
+				Page:   graph.VertexID(rng.Intn(12)),
+				TS:     int64(i),
+			}
+		}
+		b := graph.BuildBTM(cs, 0, 0)
+		jac := SimilarityNetwork(b, Options{Method: Jaccard, MinSharedPages: 1})
+		cosByPair := make(map[uint64]float64)
+		for _, e := range SimilarityNetwork(b, Options{Method: Cosine, MinSharedPages: 1}) {
+			cosByPair[graph.PackEdge(e.U, e.V)] = e.Sim
+		}
+		for _, e := range jac {
+			if e.Sim < 0 || e.Sim > 1+1e-12 {
+				return false
+			}
+			if c := cosByPair[graph.PackEdge(e.U, e.V)]; e.Sim > c+1e-12 {
+				return false // Jaccard never exceeds cosine
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineFlagsBenignCohortPipelineDoesNot(t *testing.T) {
+	// The X4 story: a benign community (same pages, independent times)
+	// is flagged by the co-share baseline but correctly ignored by the
+	// windowed projection pipeline.
+	cfg := redditgen.Tiny(99)
+	cfg.Cohorts = []redditgen.CohortSpec{{
+		Name: "bookclub", Users: 6, Pages: 30,
+	}}
+	d := redditgen.Generate(cfg)
+	b := d.BTM()
+	cohort := make(map[graph.VertexID]bool)
+	for _, id := range d.Benign["bookclub"] {
+		cohort[id] = true
+	}
+
+	base := Detect(b, Options{Method: TFIDFCosine, Percentile: 0.995, Exclude: d.Helpers})
+	baseHits := 0
+	for a := range base.FlaggedAuthors() {
+		if cohort[a] {
+			baseHits++
+		}
+	}
+	if baseHits < 4 {
+		t.Fatalf("baseline flagged only %d cohort members (want most of 6)", baseHits)
+	}
+
+	res, err := pipeline.Run(b, pipeline.Config{
+		Window:            projection.Window{Min: 0, Max: 60},
+		MinTriangleWeight: 10,
+		Exclude:           d.Helpers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range res.FlaggedAuthors() {
+		if cohort[a] {
+			t.Fatalf("pipeline flagged benign cohort member %d", a)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package baseline_test
+
+import (
+	"fmt"
+
+	"coordbot/internal/baseline"
+	"coordbot/internal/graph"
+)
+
+// Two accounts sharing all five of their pages have Jaccard similarity 1 —
+// regardless of WHEN they posted, which is the baseline's blind spot.
+func ExampleSimilarityNetwork() {
+	var comments []graph.Comment
+	for p := graph.VertexID(0); p < 5; p++ {
+		comments = append(comments,
+			graph.Comment{Author: 1, Page: p, TS: 0},
+			graph.Comment{Author: 2, Page: p, TS: 86400}, // a day later
+		)
+	}
+	btm := graph.BuildBTM(comments, 0, 0)
+	edges := baseline.SimilarityNetwork(btm, baseline.Options{
+		Method: baseline.Jaccard, MinSharedPages: 1,
+	})
+	fmt.Printf("pair (%d,%d): %d shared pages, Jaccard %.1f\n",
+		edges[0].U, edges[0].V, edges[0].Shared, edges[0].Sim)
+	// Output: pair (1,2): 5 shared pages, Jaccard 1.0
+}

@@ -1,0 +1,231 @@
+// Package distrank is the per-rank entry point for multi-process
+// distributed projection: each rank (typically its own process, launched
+// via cmd/coordbot-rank) ingests only the pages it owns from a shared
+// Pushshift archive, projects them with Algorithm 1, and reduces edge
+// weights and per-author page counts onto owner ranks over the ygmnet TCP
+// transport. Identities travel as names, so ranks need no shared interner
+// or coordination beyond the address list.
+//
+// Each rank writes its own shard of the result; concatenating the shards
+// yields the full common interaction graph — the deployment shape of the
+// paper's multi-node YGM runs.
+package distrank
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/projection"
+	"coordbot/internal/pushshift"
+	"coordbot/internal/ygm"
+	"coordbot/internal/ygmnet"
+)
+
+// Options configures one rank's run.
+type Options struct {
+	// Rank and Addrs define the cluster (see ygmnet.Config).
+	Rank  int
+	Addrs []string
+	// Input is the NDJSON(.gz) archive path. Every rank may read the
+	// same shared file (each keeps only its own pages), or a pre-split
+	// per-rank file.
+	Input string
+	// Window is the projection delay window.
+	Window projection.Window
+	// ExcludeNames are author names dropped before projection.
+	ExcludeNames []string
+	// Out receives this rank's shard as "authorA\tauthorB\tweight" lines
+	// (sorted), preceded by a comment header, followed by "#pagecounts"
+	// and "author\tcount" lines.
+	Out io.Writer
+}
+
+// pageKey owns pages by name hash, consistent across ranks.
+func pageOwner(linkID string, n int) int {
+	return int(ygm.HashString(linkID) % uint64(n))
+}
+
+// edgeKey is the canonical (lexicographic) name-pair key.
+func edgeKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "\t" + b
+}
+
+// Run executes one rank of a distributed projection and blocks until the
+// whole cluster has finished. Every rank must call Run with the same
+// Addrs, Input semantics, Window, and ExcludeNames.
+func Run(opts Options) error {
+	if err := opts.Window.Validate(); err != nil {
+		return err
+	}
+	n := len(opts.Addrs)
+	node, err := ygmnet.Start(ygmnet.Config{Rank: opts.Rank, Addrs: opts.Addrs})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	edges := ygmnet.NewStrCounter(node)
+	counts := ygmnet.NewStrCounter(node)
+	node.Seal()
+
+	excluded := make(map[string]bool, len(opts.ExcludeNames))
+	for _, name := range opts.ExcludeNames {
+		if name = strings.TrimSpace(name); name != "" {
+			excluded[name] = true
+		}
+	}
+
+	// Partitioned ingest: keep only owned pages; authors interned
+	// rank-locally (names resolved back at send time).
+	type entry struct {
+		author int32
+		ts     int64
+	}
+	var authorNames []string
+	authorIDs := make(map[string]int32)
+	pages := make(map[string][]entry)
+	f, err := os.Open(opts.Input)
+	if err != nil {
+		return err
+	}
+	_, err = pushshift.ReadFunc(f, func(author, linkID string, ts int64) error {
+		if excluded[author] || pageOwner(linkID, n) != opts.Rank {
+			return nil
+		}
+		id, ok := authorIDs[author]
+		if !ok {
+			id = int32(len(authorNames))
+			authorIDs[author] = id
+			authorNames = append(authorNames, author)
+		}
+		pages[linkID] = append(pages[linkID], entry{author: id, ts: ts})
+		return nil
+	})
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	// Project owned pages; reduce by name.
+	pairSeen := make(map[uint64]struct{})
+	pageAuthors := make(map[int32]struct{})
+	for _, es := range pages {
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].ts != es[j].ts {
+				return es[i].ts < es[j].ts
+			}
+			return es[i].author < es[j].author
+		})
+		clear(pairSeen)
+		clear(pageAuthors)
+		for i := 0; i < len(es); i++ {
+			for j := i + 1; j < len(es); j++ {
+				d := es[j].ts - es[i].ts
+				if d >= opts.Window.Max {
+					break
+				}
+				if d < opts.Window.Min || es[i].author == es[j].author {
+					continue
+				}
+				a, b := es[i].author, es[j].author
+				if a > b {
+					a, b = b, a
+				}
+				key := uint64(uint32(a))<<32 | uint64(uint32(b))
+				if _, dup := pairSeen[key]; dup {
+					continue
+				}
+				pairSeen[key] = struct{}{}
+				edges.AsyncAdd(edgeKey(authorNames[a], authorNames[b]), 1)
+				pageAuthors[a] = struct{}{}
+				pageAuthors[b] = struct{}{}
+			}
+		}
+		for a := range pageAuthors {
+			counts.AsyncAdd(authorNames[a], 1)
+		}
+	}
+	node.Barrier()
+
+	// Emit this rank's shard.
+	if opts.Out != nil {
+		w := bufio.NewWriter(opts.Out)
+		shard := edges.LocalShard()
+		keys := make([]string, 0, len(shard))
+		for k := range shard {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "# rank %d/%d shard: %d edges, window [%d,%d)\n",
+			opts.Rank, n, len(keys), opts.Window.Min, opts.Window.Max)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s\t%d\n", k, shard[k])
+		}
+		fmt.Fprintln(w, "#pagecounts")
+		pc := counts.LocalShard()
+		names := make([]string, 0, len(pc))
+		for k := range pc {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Fprintf(w, "%s\t%d\n", k, pc[k])
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	// Final barrier so no rank tears the mesh down while others still
+	// need it.
+	node.Barrier()
+	return node.Err()
+}
+
+// MergeShards parses concatenated rank shards (as written by Run) back
+// into a CIGraph, resolving names through the provided lookup. Unknown
+// names are interned via intern. It is the inverse used by tests and by
+// downstream tooling that wants one graph from per-rank outputs.
+func MergeShards(r io.Reader, intern func(string) graph.VertexID) (*graph.CIGraph, error) {
+	g := graph.NewCIGraph()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	inCounts := false
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			inCounts = strings.HasPrefix(line, "#pagecounts")
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if inCounts {
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("distrank: bad count line %q", line)
+			}
+			var c int64
+			if _, err := fmt.Sscanf(parts[1], "%d", &c); err != nil {
+				return nil, err
+			}
+			g.AddPageCount(intern(parts[0]), uint32(c))
+			continue
+		}
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("distrank: bad edge line %q", line)
+		}
+		var wgt uint32
+		if _, err := fmt.Sscanf(parts[2], "%d", &wgt); err != nil {
+			return nil, err
+		}
+		g.AddEdgeWeight(intern(parts[0]), intern(parts[1]), wgt)
+	}
+	return g, sc.Err()
+}

@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoreNumbersPath(t *testing.T) {
+	// A path graph is 1-degenerate: every vertex has core number 1.
+	g := NewCIGraph()
+	for i := VertexID(0); i < 5; i++ {
+		g.AddEdgeWeight(i, i+1, 1)
+	}
+	core := CoreNumbers(g.BuildAdjacency())
+	for i, c := range core {
+		if c != 1 {
+			t.Fatalf("path core[%d] = %d, want 1", i, c)
+		}
+	}
+}
+
+func TestCoreNumbersClique(t *testing.T) {
+	// K5: all core numbers 4.
+	g := NewCIGraph()
+	for i := VertexID(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			g.AddEdgeWeight(i, j, 1)
+		}
+	}
+	for i, c := range CoreNumbers(g.BuildAdjacency()) {
+		if c != 4 {
+			t.Fatalf("K5 core[%d] = %d, want 4", i, c)
+		}
+	}
+}
+
+func TestCoreNumbersMixed(t *testing.T) {
+	// Triangle with a pendant: triangle vertices core 2, pendant core 1.
+	g := NewCIGraph()
+	g.AddEdgeWeight(0, 1, 1)
+	g.AddEdgeWeight(1, 2, 1)
+	g.AddEdgeWeight(0, 2, 1)
+	g.AddEdgeWeight(2, 3, 1)
+	adj := g.BuildAdjacency()
+	core := CoreNumbers(adj)
+	for v := VertexID(0); v < 3; v++ {
+		if core[adj.Dense[v]] != 2 {
+			t.Fatalf("triangle vertex %d core = %d, want 2", v, core[adj.Dense[v]])
+		}
+	}
+	if core[adj.Dense[3]] != 1 {
+		t.Fatalf("pendant core = %d, want 1", core[adj.Dense[3]])
+	}
+}
+
+func TestCoreNumbersEmpty(t *testing.T) {
+	if out := CoreNumbers(NewCIGraph().BuildAdjacency()); out != nil {
+		t.Fatal("empty adjacency should return nil")
+	}
+}
+
+func TestQuickCoreNumbersConsistentWithKCore(t *testing.T) {
+	// v is in the k-core iff its core number >= k.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewCIGraph()
+		for i := 0; i < 70; i++ {
+			u, v := VertexID(rng.Intn(25)), VertexID(rng.Intn(25))
+			if u != v {
+				g.AddEdgeWeight(u, v, 1)
+			}
+		}
+		if g.NumEdges() == 0 {
+			return true
+		}
+		adj := g.BuildAdjacency()
+		core := CoreNumbers(adj)
+		for k := 1; k <= 4; k++ {
+			inCore := KCore(g, k)
+			for i := 0; i < adj.NumVertices(); i++ {
+				want := core[i] >= k
+				got := inCore[adj.Orig[i]]
+				if want != got {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package graph provides the data structures of the paper: the bipartite
+// temporal multigraph (BTM) of user→page comments, the weighted common
+// interaction (CI) graph produced by projection, and the standard graph
+// machinery (union-find components, CSR views, degree ordering, cliques,
+// k-cores) used to analyse them.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// VertexID identifies an author or a page. Author and page ID spaces are
+// independent (the BTM is bipartite).
+type VertexID = uint32
+
+// Comment is one edge of the bipartite temporal multigraph: author u
+// commented on page p at unix time TS. Multi-edges (same author, same page,
+// different times) are expected and meaningful.
+type Comment struct {
+	Author VertexID
+	Page   VertexID
+	TS     int64
+}
+
+// AuthorTime is a (author, timestamp) entry in a page's neighborhood.
+type AuthorTime struct {
+	Author VertexID
+	TS     int64
+}
+
+// BTM is the bipartite temporal multigraph B = (U, P, E, t), stored in two
+// CSR-style indexes: by page (each page's comments sorted by time — the
+// order Algorithm 1 requires) and by author (each author's distinct pages,
+// sorted — what the hypergraph step intersects).
+type BTM struct {
+	numAuthors int
+	numPages   int
+	numEdges   int
+
+	// By-page index: pageOff[p]..pageOff[p+1] slices pageEntries, each
+	// page's comments in ascending timestamp order.
+	pageOff     []int
+	pageEntries []AuthorTime
+
+	// By-author index: authorOff[a]..authorOff[a+1] slices authorPages,
+	// the sorted distinct pages author a commented on.
+	authorOff   []int
+	authorPages []VertexID
+
+	// By-author timed index (built on demand): distinct pages with the
+	// list of comment times, used by windowed hyperedge counting.
+	timedOnce   sync.Once
+	authorTimed [][]PageTimes
+}
+
+// PageTimes lists an author's comment times on one page (ascending).
+type PageTimes struct {
+	Page  VertexID
+	Times []int64
+}
+
+// BuildBTM constructs a BTM from a comment stream. numAuthors/numPages may
+// be 0 to derive them from the data. The input slice is not retained.
+func BuildBTM(comments []Comment, numAuthors, numPages int) *BTM {
+	for _, c := range comments {
+		if int(c.Author)+1 > numAuthors {
+			numAuthors = int(c.Author) + 1
+		}
+		if int(c.Page)+1 > numPages {
+			numPages = int(c.Page) + 1
+		}
+	}
+
+	b := &BTM{numAuthors: numAuthors, numPages: numPages, numEdges: len(comments)}
+
+	// --- By-page CSR, time-sorted within page. ---
+	b.pageOff = make([]int, numPages+1)
+	for _, c := range comments {
+		b.pageOff[c.Page+1]++
+	}
+	for p := 0; p < numPages; p++ {
+		b.pageOff[p+1] += b.pageOff[p]
+	}
+	b.pageEntries = make([]AuthorTime, len(comments))
+	cursor := make([]int, numPages)
+	for _, c := range comments {
+		i := b.pageOff[c.Page] + cursor[c.Page]
+		b.pageEntries[i] = AuthorTime{Author: c.Author, TS: c.TS}
+		cursor[c.Page]++
+	}
+	for p := 0; p < numPages; p++ {
+		seg := b.pageEntries[b.pageOff[p]:b.pageOff[p+1]]
+		sort.Slice(seg, func(i, j int) bool {
+			if seg[i].TS != seg[j].TS {
+				return seg[i].TS < seg[j].TS
+			}
+			return seg[i].Author < seg[j].Author
+		})
+	}
+
+	// --- By-author distinct-page CSR. ---
+	// First pass: collect (author, page) pairs, dedupe per author.
+	perAuthor := make([][]VertexID, numAuthors)
+	for _, c := range comments {
+		perAuthor[c.Author] = append(perAuthor[c.Author], c.Page)
+	}
+	b.authorOff = make([]int, numAuthors+1)
+	total := 0
+	for a := 0; a < numAuthors; a++ {
+		ps := perAuthor[a]
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		ps = dedupeSorted(ps)
+		perAuthor[a] = ps
+		total += len(ps)
+		b.authorOff[a+1] = total
+	}
+	b.authorPages = make([]VertexID, total)
+	for a := 0; a < numAuthors; a++ {
+		copy(b.authorPages[b.authorOff[a]:], perAuthor[a])
+	}
+	return b
+}
+
+func dedupeSorted(ps []VertexID) []VertexID {
+	if len(ps) == 0 {
+		return ps
+	}
+	w := 1
+	for i := 1; i < len(ps); i++ {
+		if ps[i] != ps[w-1] {
+			ps[w] = ps[i]
+			w++
+		}
+	}
+	return ps[:w]
+}
+
+// NumAuthors returns |U|.
+func (b *BTM) NumAuthors() int { return b.numAuthors }
+
+// NumPages returns |P|.
+func (b *BTM) NumPages() int { return b.numPages }
+
+// NumEdges returns |E| (comments, counting multiplicity).
+func (b *BTM) NumEdges() int { return b.numEdges }
+
+// PageNeighborhood returns page p's comments in ascending time order. The
+// returned slice aliases internal storage; callers must not mutate it.
+func (b *BTM) PageNeighborhood(p VertexID) []AuthorTime {
+	if int(p) >= b.numPages {
+		panic(fmt.Sprintf("graph: page %d out of range (%d pages)", p, b.numPages))
+	}
+	return b.pageEntries[b.pageOff[p]:b.pageOff[p+1]]
+}
+
+// AuthorPages returns the sorted distinct pages author a commented on.
+// The returned slice aliases internal storage; callers must not mutate it.
+func (b *BTM) AuthorPages(a VertexID) []VertexID {
+	if int(a) >= b.numAuthors {
+		panic(fmt.Sprintf("graph: author %d out of range (%d authors)", a, b.numAuthors))
+	}
+	return b.authorPages[b.authorOff[a]:b.authorOff[a+1]]
+}
+
+// PageCount returns p_a — the number of distinct pages where author a has
+// at least one comment (equation 3 of the paper).
+func (b *BTM) PageCount(a VertexID) int { return len(b.AuthorPages(a)) }
+
+// AuthorPageTimes returns author a's distinct pages, each with the sorted
+// list of that author's comment times on the page. Built lazily for all
+// authors on first use (the windowed-hyperedge extension needs it).
+func (b *BTM) AuthorPageTimes(a VertexID) []PageTimes {
+	b.timedOnce.Do(b.buildTimedIndex)
+	return b.authorTimed[a]
+}
+
+func (b *BTM) buildTimedIndex() {
+	timed := make([][]PageTimes, b.numAuthors)
+	// Walk pages (already time-sorted) and append to each author's list.
+	type cursorKey struct {
+		a VertexID
+		p VertexID
+	}
+	idx := make(map[cursorKey]int)
+	for p := 0; p < b.numPages; p++ {
+		for _, at := range b.pageEntries[b.pageOff[p]:b.pageOff[p+1]] {
+			key := cursorKey{at.Author, VertexID(p)}
+			if i, ok := idx[key]; ok {
+				timed[at.Author][i].Times = append(timed[at.Author][i].Times, at.TS)
+			} else {
+				idx[key] = len(timed[at.Author])
+				timed[at.Author] = append(timed[at.Author], PageTimes{
+					Page:  VertexID(p),
+					Times: []int64{at.TS},
+				})
+			}
+		}
+	}
+	// Per-author lists are in page order of discovery; sort by page so
+	// they can be merged/intersected.
+	for a := range timed {
+		sort.Slice(timed[a], func(i, j int) bool { return timed[a][i].Page < timed[a][j].Page })
+	}
+	b.authorTimed = timed
+}
+
+// Comments reconstructs the flat comment stream (page-major, time order).
+// Intended for tests and re-projection; allocates a fresh slice.
+func (b *BTM) Comments() []Comment {
+	out := make([]Comment, 0, b.numEdges)
+	for p := 0; p < b.numPages; p++ {
+		for _, at := range b.pageEntries[b.pageOff[p]:b.pageOff[p+1]] {
+			out = append(out, Comment{Author: at.Author, Page: VertexID(p), TS: at.TS})
+		}
+	}
+	return out
+}
+
+// FilterAuthors returns a new BTM with all comments by the given authors
+// removed. This is the paper's §3 exclusion step (AutoModerator, [deleted])
+// and the §2.4 refinement loop (drop ruled-out authors and re-project).
+func (b *BTM) FilterAuthors(exclude map[VertexID]bool) *BTM {
+	kept := make([]Comment, 0, b.numEdges)
+	for p := 0; p < b.numPages; p++ {
+		for _, at := range b.pageEntries[b.pageOff[p]:b.pageOff[p+1]] {
+			if !exclude[at.Author] {
+				kept = append(kept, Comment{Author: at.Author, Page: VertexID(p), TS: at.TS})
+			}
+		}
+	}
+	return BuildBTM(kept, b.numAuthors, b.numPages)
+}

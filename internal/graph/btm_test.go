@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sampleComments() []Comment {
+	return []Comment{
+		{Author: 0, Page: 0, TS: 100},
+		{Author: 1, Page: 0, TS: 110},
+		{Author: 2, Page: 0, TS: 105},
+		{Author: 0, Page: 1, TS: 200},
+		{Author: 0, Page: 1, TS: 250}, // multi-edge: same author, same page
+		{Author: 3, Page: 1, TS: 260},
+		{Author: 1, Page: 2, TS: 300},
+	}
+}
+
+func TestBTMCounts(t *testing.T) {
+	b := BuildBTM(sampleComments(), 0, 0)
+	if b.NumAuthors() != 4 {
+		t.Errorf("NumAuthors = %d, want 4", b.NumAuthors())
+	}
+	if b.NumPages() != 3 {
+		t.Errorf("NumPages = %d, want 3", b.NumPages())
+	}
+	if b.NumEdges() != 7 {
+		t.Errorf("NumEdges = %d, want 7", b.NumEdges())
+	}
+}
+
+func TestBTMPageNeighborhoodSortedByTime(t *testing.T) {
+	b := BuildBTM(sampleComments(), 0, 0)
+	n := b.PageNeighborhood(0)
+	if len(n) != 3 {
+		t.Fatalf("page 0 has %d comments, want 3", len(n))
+	}
+	for i := 1; i < len(n); i++ {
+		if n[i-1].TS > n[i].TS {
+			t.Fatalf("page 0 neighborhood not time-sorted: %+v", n)
+		}
+	}
+	if n[0].Author != 0 || n[1].Author != 2 || n[2].Author != 1 {
+		t.Fatalf("unexpected order: %+v", n)
+	}
+}
+
+func TestBTMAuthorPagesDeduped(t *testing.T) {
+	b := BuildBTM(sampleComments(), 0, 0)
+	ps := b.AuthorPages(0)
+	want := []VertexID{0, 1}
+	if len(ps) != len(want) {
+		t.Fatalf("author 0 pages = %v, want %v", ps, want)
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("author 0 pages = %v, want %v", ps, want)
+		}
+	}
+	if b.PageCount(0) != 2 {
+		t.Errorf("PageCount(0) = %d, want 2 (multi-edges collapse)", b.PageCount(0))
+	}
+}
+
+func TestBTMAuthorPageTimes(t *testing.T) {
+	b := BuildBTM(sampleComments(), 0, 0)
+	pt := b.AuthorPageTimes(0)
+	if len(pt) != 2 {
+		t.Fatalf("author 0 has %d timed pages, want 2", len(pt))
+	}
+	if pt[1].Page != 1 || len(pt[1].Times) != 2 {
+		t.Fatalf("author 0 page 1: %+v, want two times", pt[1])
+	}
+	if pt[1].Times[0] != 200 || pt[1].Times[1] != 250 {
+		t.Fatalf("times not ascending: %+v", pt[1].Times)
+	}
+}
+
+func TestBTMCommentsRoundTrip(t *testing.T) {
+	orig := sampleComments()
+	b := BuildBTM(orig, 0, 0)
+	back := b.Comments()
+	if len(back) != len(orig) {
+		t.Fatalf("round trip length %d != %d", len(back), len(orig))
+	}
+	b2 := BuildBTM(back, 0, 0)
+	// Rebuilt BTM must be identical (compare page neighborhoods).
+	for p := VertexID(0); int(p) < b.NumPages(); p++ {
+		n1, n2 := b.PageNeighborhood(p), b2.PageNeighborhood(p)
+		if len(n1) != len(n2) {
+			t.Fatalf("page %d: %d vs %d entries", p, len(n1), len(n2))
+		}
+		for i := range n1 {
+			if n1[i] != n2[i] {
+				t.Fatalf("page %d entry %d: %+v vs %+v", p, i, n1[i], n2[i])
+			}
+		}
+	}
+}
+
+func TestBTMFilterAuthors(t *testing.T) {
+	b := BuildBTM(sampleComments(), 0, 0)
+	f := b.FilterAuthors(map[VertexID]bool{0: true})
+	if f.NumEdges() != 4 {
+		t.Fatalf("filtered edges = %d, want 4", f.NumEdges())
+	}
+	if f.PageCount(0) != 0 {
+		t.Fatalf("excluded author still has pages: %d", f.PageCount(0))
+	}
+	// Dimensions preserved so IDs stay valid.
+	if f.NumAuthors() != b.NumAuthors() || f.NumPages() != b.NumPages() {
+		t.Fatal("filter changed graph dimensions")
+	}
+}
+
+func TestBTMEmpty(t *testing.T) {
+	b := BuildBTM(nil, 0, 0)
+	if b.NumAuthors() != 0 || b.NumPages() != 0 || b.NumEdges() != 0 {
+		t.Fatal("empty BTM not empty")
+	}
+	b2 := BuildBTM(nil, 5, 7)
+	if b2.NumAuthors() != 5 || b2.NumPages() != 7 {
+		t.Fatal("explicit dimensions ignored")
+	}
+	if got := b2.PageCount(3); got != 0 {
+		t.Fatalf("PageCount of silent author = %d", got)
+	}
+}
+
+func TestQuickBTMInvariants(t *testing.T) {
+	// Property: for random comment streams, (a) page neighborhoods are
+	// time-sorted and their sizes sum to |E|; (b) author page lists are
+	// sorted, unique, and PageCount matches a reference recount.
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%500) + 1
+		cs := make([]Comment, n)
+		for i := range cs {
+			cs[i] = Comment{
+				Author: VertexID(rng.Intn(40)),
+				Page:   VertexID(rng.Intn(25)),
+				TS:     int64(rng.Intn(1000)),
+			}
+		}
+		b := BuildBTM(cs, 0, 0)
+		total := 0
+		for p := 0; p < b.NumPages(); p++ {
+			nb := b.PageNeighborhood(VertexID(p))
+			total += len(nb)
+			for i := 1; i < len(nb); i++ {
+				if nb[i-1].TS > nb[i].TS {
+					return false
+				}
+			}
+		}
+		if total != n {
+			return false
+		}
+		ref := make(map[VertexID]map[VertexID]bool)
+		for _, c := range cs {
+			if ref[c.Author] == nil {
+				ref[c.Author] = make(map[VertexID]bool)
+			}
+			ref[c.Author][c.Page] = true
+		}
+		for a := 0; a < b.NumAuthors(); a++ {
+			ps := b.AuthorPages(VertexID(a))
+			if !sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i] < ps[j] }) {
+				return false
+			}
+			for i := 1; i < len(ps); i++ {
+				if ps[i] == ps[i-1] {
+					return false
+				}
+			}
+			if len(ps) != len(ref[VertexID(a)]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

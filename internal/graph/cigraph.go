@@ -1,0 +1,274 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PackEdge encodes the undirected edge {u,v} as a canonical uint64 key
+// (smaller endpoint in the high 32 bits). u must differ from v.
+func PackEdge(u, v VertexID) uint64 {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop %d", u))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+// UnpackEdge decodes a canonical edge key.
+func UnpackEdge(key uint64) (u, v VertexID) {
+	return VertexID(key >> 32), VertexID(key & 0xffffffff)
+}
+
+// WeightedEdge is an undirected weighted edge with U < V.
+type WeightedEdge struct {
+	U, V VertexID
+	W    uint32
+}
+
+// CIGraph is the common interaction graph C = (U, I, w') of the paper: an
+// undirected graph over authors where w'_xy counts the pages on which x and
+// y commented within the projection window of each other. It also carries
+// the companion list L of per-author projected page counts P'_x
+// (equation 6), which the T score normalizes by.
+type CIGraph struct {
+	edges      map[uint64]uint32
+	pageCounts map[VertexID]uint32
+}
+
+// NewCIGraph returns an empty CI graph.
+func NewCIGraph() *CIGraph {
+	return &CIGraph{
+		edges:      make(map[uint64]uint32),
+		pageCounts: make(map[VertexID]uint32),
+	}
+}
+
+// AddEdgeWeight adds w to the weight of undirected edge {u,v}.
+func (g *CIGraph) AddEdgeWeight(u, v VertexID, w uint32) {
+	g.edges[PackEdge(u, v)] += w
+}
+
+// AddPageCount adds n to P'_u.
+func (g *CIGraph) AddPageCount(u VertexID, n uint32) {
+	g.pageCounts[u] += n
+}
+
+// Weight returns w'_uv (0 if the edge is absent).
+func (g *CIGraph) Weight(u, v VertexID) uint32 {
+	if u == v {
+		return 0
+	}
+	return g.edges[PackEdge(u, v)]
+}
+
+// PageCount returns P'_u — the number of pages that contributed at least
+// one projection edge incident to u (0 if u never projected).
+func (g *CIGraph) PageCount(u VertexID) uint32 { return g.pageCounts[u] }
+
+// NumEdges returns |I|.
+func (g *CIGraph) NumEdges() int { return len(g.edges) }
+
+// NumVertices returns the number of authors with at least one CI edge.
+func (g *CIGraph) NumVertices() int {
+	seen := make(map[VertexID]struct{})
+	for key := range g.edges {
+		u, v := UnpackEdge(key)
+		seen[u] = struct{}{}
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Edges returns all edges, sorted by (U, V) for determinism.
+func (g *CIGraph) Edges() []WeightedEdge {
+	out := make([]WeightedEdge, 0, len(g.edges))
+	for key, w := range g.edges {
+		u, v := UnpackEdge(key)
+		out = append(out, WeightedEdge{U: u, V: v, W: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// PageCounts returns a copy of the P' table.
+func (g *CIGraph) PageCounts() map[VertexID]uint32 {
+	out := make(map[VertexID]uint32, len(g.pageCounts))
+	for k, v := range g.pageCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// SetPageCount overwrites P'_u (used when merging projections).
+func (g *CIGraph) SetPageCount(u VertexID, n uint32) { g.pageCounts[u] = n }
+
+// Threshold returns the subgraph containing only edges with weight >= minW.
+// Page counts are copied unchanged: P' is a property of the projection, not
+// of the retained edge set.
+func (g *CIGraph) Threshold(minW uint32) *CIGraph {
+	out := NewCIGraph()
+	for key, w := range g.edges {
+		if w >= minW {
+			out.edges[key] = w
+		}
+	}
+	for k, v := range g.pageCounts {
+		out.pageCounts[k] = v
+	}
+	return out
+}
+
+// Merge adds every edge weight and page count of other into g. Used by the
+// time-bucketed projection workaround described in §3 of the paper.
+func (g *CIGraph) Merge(other *CIGraph) {
+	for key, w := range other.edges {
+		g.edges[key] += w
+	}
+	for k, v := range other.pageCounts {
+		g.pageCounts[k] += v
+	}
+}
+
+// Equal reports whether two CI graphs have identical edges, weights, and
+// page counts (used heavily by equivalence tests).
+func (g *CIGraph) Equal(other *CIGraph) bool {
+	if len(g.edges) != len(other.edges) || len(g.pageCounts) != len(other.pageCounts) {
+		return false
+	}
+	for key, w := range g.edges {
+		if other.edges[key] != w {
+			return false
+		}
+	}
+	for k, v := range g.pageCounts {
+		if other.pageCounts[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxWeight returns the largest edge weight (0 for an empty graph).
+func (g *CIGraph) MaxWeight() uint32 {
+	var mw uint32
+	for _, w := range g.edges {
+		if w > mw {
+			mw = w
+		}
+	}
+	return mw
+}
+
+// Adjacency materializes a CSR adjacency view of the graph. Vertices are
+// the authors incident to at least one edge, renumbered densely; the view
+// keeps the mapping both ways.
+type Adjacency struct {
+	// Orig[i] is the original author ID of dense vertex i.
+	Orig []VertexID
+	// Dense maps original author ID → dense index.
+	Dense map[VertexID]int32
+	// Off/Nbr/Wt: CSR arrays. Neighbors of i are Nbr[Off[i]:Off[i+1]],
+	// sorted ascending, with parallel weights in Wt.
+	Off []int
+	Nbr []int32
+	Wt  []uint32
+}
+
+// BuildAdjacency converts the CI graph to CSR form.
+func (g *CIGraph) BuildAdjacency() *Adjacency {
+	// Collect and densely renumber vertices.
+	vset := make(map[VertexID]int32)
+	for key := range g.edges {
+		u, v := UnpackEdge(key)
+		if _, ok := vset[u]; !ok {
+			vset[u] = 0
+		}
+		if _, ok := vset[v]; !ok {
+			vset[v] = 0
+		}
+	}
+	orig := make([]VertexID, 0, len(vset))
+	for v := range vset {
+		orig = append(orig, v)
+	}
+	sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+	for i, v := range orig {
+		vset[v] = int32(i)
+	}
+
+	n := len(orig)
+	adj := &Adjacency{Orig: orig, Dense: vset, Off: make([]int, n+1)}
+	for key := range g.edges {
+		u, v := UnpackEdge(key)
+		adj.Off[vset[u]+1]++
+		adj.Off[vset[v]+1]++
+	}
+	for i := 0; i < n; i++ {
+		adj.Off[i+1] += adj.Off[i]
+	}
+	m := adj.Off[n]
+	adj.Nbr = make([]int32, m)
+	adj.Wt = make([]uint32, m)
+	cursor := make([]int, n)
+	for key, w := range g.edges {
+		u, v := UnpackEdge(key)
+		du, dv := vset[u], vset[v]
+		i := adj.Off[du] + cursor[du]
+		adj.Nbr[i], adj.Wt[i] = dv, w
+		cursor[du]++
+		j := adj.Off[dv] + cursor[dv]
+		adj.Nbr[j], adj.Wt[j] = du, w
+		cursor[dv]++
+	}
+	// Sort each neighbor list (with parallel weights).
+	for i := 0; i < n; i++ {
+		lo, hi := adj.Off[i], adj.Off[i+1]
+		idx := make([]int, hi-lo)
+		for k := range idx {
+			idx[k] = lo + k
+		}
+		sort.Slice(idx, func(a, b int) bool { return adj.Nbr[idx[a]] < adj.Nbr[idx[b]] })
+		nbr := make([]int32, hi-lo)
+		wt := make([]uint32, hi-lo)
+		for k, p := range idx {
+			nbr[k], wt[k] = adj.Nbr[p], adj.Wt[p]
+		}
+		copy(adj.Nbr[lo:hi], nbr)
+		copy(adj.Wt[lo:hi], wt)
+	}
+	return adj
+}
+
+// NumVertices returns the dense vertex count.
+func (a *Adjacency) NumVertices() int { return len(a.Orig) }
+
+// Degree returns dense vertex i's degree.
+func (a *Adjacency) Degree(i int32) int { return a.Off[i+1] - a.Off[i] }
+
+// Neighbors returns dense vertex i's sorted neighbor list (aliases storage).
+func (a *Adjacency) Neighbors(i int32) []int32 { return a.Nbr[a.Off[i]:a.Off[i+1]] }
+
+// Weights returns the weights parallel to Neighbors(i) (aliases storage).
+func (a *Adjacency) Weights(i int32) []uint32 { return a.Wt[a.Off[i]:a.Off[i+1]] }
+
+// EdgeWeight returns the weight of dense edge (i,j), 0 if absent, via
+// binary search of the smaller adjacency list.
+func (a *Adjacency) EdgeWeight(i, j int32) uint32 {
+	if a.Degree(j) < a.Degree(i) {
+		i, j = j, i
+	}
+	nbr := a.Neighbors(i)
+	k := sort.Search(len(nbr), func(x int) bool { return nbr[x] >= j })
+	if k < len(nbr) && nbr[k] == j {
+		return a.Weights(i)[k]
+	}
+	return 0
+}

@@ -1,0 +1,108 @@
+package graph
+
+import "sort"
+
+// Component is one connected component of a CI graph, in original author
+// IDs, with its induced edges.
+type Component struct {
+	Authors []VertexID
+	Edges   []WeightedEdge
+}
+
+// Size returns the number of authors in the component.
+func (c *Component) Size() int { return len(c.Authors) }
+
+// MinWeight and MaxWeight return the induced edge-weight range; both are 0
+// for an edgeless component.
+func (c *Component) MinWeight() uint32 {
+	if len(c.Edges) == 0 {
+		return 0
+	}
+	mw := c.Edges[0].W
+	for _, e := range c.Edges[1:] {
+		if e.W < mw {
+			mw = e.W
+		}
+	}
+	return mw
+}
+
+// MaxWeight returns the largest induced edge weight.
+func (c *Component) MaxWeight() uint32 {
+	var mw uint32
+	for _, e := range c.Edges {
+		if e.W > mw {
+			mw = e.W
+		}
+	}
+	return mw
+}
+
+// Density returns |E| / (n choose 2) for the component (1 for cliques).
+func (c *Component) Density() float64 {
+	n := len(c.Authors)
+	if n < 2 {
+		return 0
+	}
+	return float64(len(c.Edges)) / (float64(n) * float64(n-1) / 2)
+}
+
+// ConnectedComponents returns the connected components of g (vertices with
+// at least one edge), largest first; ties broken by smallest author ID.
+func ConnectedComponents(g *CIGraph) []Component {
+	adj := g.BuildAdjacency()
+	n := adj.NumVertices()
+	uf := NewUnionFind(n)
+	for key := range g.edges {
+		u, v := UnpackEdge(key)
+		uf.Union(adj.Dense[u], adj.Dense[v])
+	}
+	groups := make(map[int32][]VertexID)
+	for i := 0; i < n; i++ {
+		r := uf.Find(int32(i))
+		groups[r] = append(groups[r], adj.Orig[i])
+	}
+	comps := make([]Component, 0, len(groups))
+	for _, authors := range groups {
+		sort.Slice(authors, func(i, j int) bool { return authors[i] < authors[j] })
+		comps = append(comps, Component{Authors: authors})
+	}
+	// Attach induced edges.
+	repOf := func(a VertexID) int32 { return uf.Find(adj.Dense[a]) }
+	index := make(map[int32]int, len(comps))
+	for i := range comps {
+		index[repOf(comps[i].Authors[0])] = i
+	}
+	for key, w := range g.edges {
+		u, v := UnpackEdge(key)
+		ci := index[repOf(u)]
+		comps[ci].Edges = append(comps[ci].Edges, WeightedEdge{U: u, V: v, W: w})
+	}
+	sortComponents(comps)
+	return comps
+}
+
+// sortSliceVertex sorts vertex IDs ascending.
+func sortSliceVertex(vs []VertexID) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+}
+
+// sortComponents orders each component's edges by (U, V) and the component
+// list largest-first (ties by smallest author), the canonical output order.
+func sortComponents(comps []Component) {
+	for i := range comps {
+		es := comps[i].Edges
+		sort.Slice(es, func(a, b int) bool {
+			if es[a].U != es[b].U {
+				return es[a].U < es[b].U
+			}
+			return es[a].V < es[b].V
+		})
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i].Authors) != len(comps[j].Authors) {
+			return len(comps[i].Authors) > len(comps[j].Authors)
+		}
+		return comps[i].Authors[0] < comps[j].Authors[0]
+	})
+}

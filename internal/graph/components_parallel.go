@@ -1,0 +1,48 @@
+package graph
+
+import "coordbot/internal/ygm"
+
+// ConnectedComponentsParallel extracts components on a ygm communicator
+// using the distributed disjoint-set, mirroring how the paper's YGM stack
+// computes components of thresholded projections too large for one rank.
+// Results are identical to ConnectedComponents (tested). ranks==0 uses
+// ygm.DefaultRanks().
+func ConnectedComponentsParallel(g *CIGraph, ranks int) []Component {
+	if ranks == 0 {
+		ranks = ygm.DefaultRanks()
+	}
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return nil
+	}
+	comm := ygm.NewComm(ranks)
+	defer comm.Close()
+	ds := ygm.NewDisjointSetOrdered[VertexID](comm, ygm.HashU32)
+	comm.Run(func(r *ygm.Rank) {
+		for i := r.ID(); i < len(edges); i += r.NRanks() {
+			ds.AsyncUnion(r, edges[i].U, edges[i].V)
+		}
+		r.Barrier()
+	})
+	roots := ds.Roots()
+
+	// Group authors and attach induced edges (sequential epilogue, same
+	// shape as the sequential path).
+	groups := make(map[VertexID][]VertexID)
+	for v, root := range roots {
+		groups[root] = append(groups[root], v)
+	}
+	comps := make([]Component, 0, len(groups))
+	index := make(map[VertexID]int, len(groups))
+	for root, authors := range groups {
+		sortSliceVertex(authors)
+		index[root] = len(comps)
+		comps = append(comps, Component{Authors: authors})
+	}
+	for _, e := range edges {
+		ci := index[roots[e.U]]
+		comps[ci].Edges = append(comps[ci].Edges, e)
+	}
+	sortComponents(comps)
+	return comps
+}

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelComponentsMatchSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := NewCIGraph()
+	for i := 0; i < 300; i++ {
+		u, v := VertexID(rng.Intn(120)), VertexID(rng.Intn(120))
+		if u != v {
+			g.AddEdgeWeight(u, v, uint32(rng.Intn(9)+1))
+		}
+	}
+	seq := ConnectedComponents(g)
+	for _, ranks := range []int{1, 4} {
+		par := ConnectedComponentsParallel(g, ranks)
+		if len(par) != len(seq) {
+			t.Fatalf("ranks %d: %d components, want %d", ranks, len(par), len(seq))
+		}
+		for i := range seq {
+			if len(par[i].Authors) != len(seq[i].Authors) || len(par[i].Edges) != len(seq[i].Edges) {
+				t.Fatalf("ranks %d: component %d shape differs", ranks, i)
+			}
+			for j := range seq[i].Authors {
+				if par[i].Authors[j] != seq[i].Authors[j] {
+					t.Fatalf("ranks %d: component %d author %d differs", ranks, i, j)
+				}
+			}
+			for j := range seq[i].Edges {
+				if par[i].Edges[j] != seq[i].Edges[j] {
+					t.Fatalf("ranks %d: component %d edge %d differs", ranks, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelComponentsEmpty(t *testing.T) {
+	if out := ConnectedComponentsParallel(NewCIGraph(), 2); out != nil {
+		t.Fatal("empty graph produced components")
+	}
+}
+
+func TestQuickParallelComponentsEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewCIGraph()
+		for i := 0; i < 60; i++ {
+			u, v := VertexID(rng.Intn(40)), VertexID(rng.Intn(40))
+			if u != v {
+				g.AddEdgeWeight(u, v, 1)
+			}
+		}
+		if g.NumEdges() == 0 {
+			return true
+		}
+		seq := ConnectedComponents(g)
+		par := ConnectedComponentsParallel(g, 3)
+		if len(seq) != len(par) {
+			return false
+		}
+		for i := range seq {
+			if len(seq[i].Authors) != len(par[i].Authors) {
+				return false
+			}
+			for j := range seq[i].Authors {
+				if seq[i].Authors[j] != par[i].Authors[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

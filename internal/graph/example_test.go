@@ -1,0 +1,42 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"coordbot/internal/graph"
+)
+
+// Building the bipartite temporal multigraph and reading its two indexes:
+// time-sorted page neighborhoods (what projection scans) and sorted
+// distinct page lists per author (what hypergraph validation intersects).
+func ExampleBuildBTM() {
+	btm := graph.BuildBTM([]graph.Comment{
+		{Author: 0, Page: 0, TS: 30},
+		{Author: 1, Page: 0, TS: 10},
+		{Author: 0, Page: 1, TS: 50},
+		{Author: 0, Page: 1, TS: 60}, // multi-edge
+	}, 0, 0)
+	first := btm.PageNeighborhood(0)[0]
+	fmt.Printf("page 0 earliest commenter: author %d at t=%d\n", first.Author, first.TS)
+	fmt.Printf("author 0 distinct pages: %v (p_x = %d)\n",
+		btm.AuthorPages(0), btm.PageCount(0))
+	// Output:
+	// page 0 earliest commenter: author 1 at t=10
+	// author 0 distinct pages: [0 1] (p_x = 2)
+}
+
+// Connected components of a thresholded CI graph — the paper's Figure 1/2
+// artifacts — come back largest-first with induced edges attached.
+func ExampleConnectedComponents() {
+	g := graph.NewCIGraph()
+	g.AddEdgeWeight(1, 2, 30)
+	g.AddEdgeWeight(2, 3, 28)
+	g.AddEdgeWeight(1, 3, 25)
+	g.AddEdgeWeight(8, 9, 40)
+	for _, c := range graph.ConnectedComponents(g) {
+		fmt.Printf("%d authors, weights [%d..%d]\n", c.Size(), c.MinWeight(), c.MaxWeight())
+	}
+	// Output:
+	// 3 authors, weights [25..30]
+	// 2 authors, weights [40..40]
+}

@@ -1,0 +1,79 @@
+package graph
+
+// Component-level structural metrics used when characterizing detected
+// networks: the paper contrasts the GPT-2 ring ("appears to be more
+// sparse") with the reshare ring's tight clique; eccentricity and strength
+// distributions quantify those contrasts.
+
+// BFSDistances returns hop distances from src (dense vertex) to every
+// dense vertex; unreachable vertices get -1.
+func BFSDistances(adj *Adjacency, src int32) []int32 {
+	n := adj.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj.Neighbors(v) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the largest eccentricity within the (assumed connected)
+// vertex set of adj, by BFS from every vertex — intended for the small
+// per-component graphs the pipeline emits, not whole projections.
+// Disconnected pairs are ignored. An empty adjacency has diameter 0.
+func Diameter(adj *Adjacency) int {
+	n := adj.NumVertices()
+	best := 0
+	for v := int32(0); v < int32(n); v++ {
+		for _, d := range BFSDistances(adj, v) {
+			if int(d) > best {
+				best = int(d)
+			}
+		}
+	}
+	return best
+}
+
+// Strength returns each dense vertex's weighted degree (sum of incident
+// edge weights).
+func Strength(adj *Adjacency) []uint64 {
+	n := adj.NumVertices()
+	out := make([]uint64, n)
+	for v := int32(0); v < int32(n); v++ {
+		var s uint64
+		for _, w := range adj.Weights(v) {
+			s += uint64(w)
+		}
+		out[v] = s
+	}
+	return out
+}
+
+// ComponentDiameter computes the hop diameter of one component.
+func ComponentDiameter(c *Component) int {
+	g := NewCIGraph()
+	for _, e := range c.Edges {
+		g.AddEdgeWeight(e.U, e.V, e.W)
+	}
+	return Diameter(g.BuildAdjacency())
+}
+
+// DegreeHistogram returns counts of vertices per degree.
+func DegreeHistogram(adj *Adjacency) map[int]int {
+	h := make(map[int]int)
+	for v := int32(0); v < int32(adj.NumVertices()); v++ {
+		h[adj.Degree(v)]++
+	}
+	return h
+}

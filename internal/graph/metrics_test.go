@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pathGraph(n int) *CIGraph {
+	g := NewCIGraph()
+	for i := VertexID(0); int(i) < n-1; i++ {
+		g.AddEdgeWeight(i, i+1, uint32(i+1))
+	}
+	return g
+}
+
+func TestBFSDistancesPath(t *testing.T) {
+	adj := pathGraph(5).BuildAdjacency()
+	d := BFSDistances(adj, adj.Dense[0])
+	for v := VertexID(0); v < 5; v++ {
+		if d[adj.Dense[v]] != int32(v) {
+			t.Fatalf("dist to %d = %d", v, d[adj.Dense[v]])
+		}
+	}
+}
+
+func TestBFSDistancesUnreachable(t *testing.T) {
+	g := NewCIGraph()
+	g.AddEdgeWeight(0, 1, 1)
+	g.AddEdgeWeight(5, 6, 1)
+	adj := g.BuildAdjacency()
+	d := BFSDistances(adj, adj.Dense[0])
+	if d[adj.Dense[5]] != -1 {
+		t.Fatal("disconnected vertex reachable")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Diameter(pathGraph(6).BuildAdjacency()); d != 5 {
+		t.Fatalf("path diameter = %d, want 5", d)
+	}
+	// Clique diameter 1.
+	g := NewCIGraph()
+	for i := VertexID(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdgeWeight(i, j, 1)
+		}
+	}
+	if d := Diameter(g.BuildAdjacency()); d != 1 {
+		t.Fatalf("K4 diameter = %d, want 1", d)
+	}
+	if d := Diameter(NewCIGraph().BuildAdjacency()); d != 0 {
+		t.Fatalf("empty diameter = %d", d)
+	}
+}
+
+func TestStrength(t *testing.T) {
+	g := pathGraph(3) // edges 0-1 (w1), 1-2 (w2)
+	adj := g.BuildAdjacency()
+	s := Strength(adj)
+	if s[adj.Dense[1]] != 3 {
+		t.Fatalf("strength(1) = %d, want 3", s[adj.Dense[1]])
+	}
+	if s[adj.Dense[0]] != 1 || s[adj.Dense[2]] != 2 {
+		t.Fatalf("end strengths wrong: %v", s)
+	}
+}
+
+func TestComponentDiameter(t *testing.T) {
+	c := &Component{
+		Authors: []VertexID{1, 2, 3},
+		Edges:   []WeightedEdge{{U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1}},
+	}
+	if d := ComponentDiameter(c); d != 2 {
+		t.Fatalf("diameter = %d, want 2", d)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := DegreeHistogram(pathGraph(4).BuildAdjacency())
+	if h[1] != 2 || h[2] != 2 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestQuickDiameterBounds(t *testing.T) {
+	// For connected graphs: diameter <= n-1, and diameter >= 1 when an
+	// edge exists; strength sums to 2 * total edge weight.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 2
+		g := NewCIGraph()
+		// Spanning path keeps it connected, plus random extras.
+		for i := 0; i < n-1; i++ {
+			g.AddEdgeWeight(VertexID(i), VertexID(i+1), uint32(rng.Intn(5)+1))
+		}
+		for i := 0; i < n; i++ {
+			u, v := VertexID(rng.Intn(n)), VertexID(rng.Intn(n))
+			if u != v {
+				g.AddEdgeWeight(u, v, 1)
+			}
+		}
+		adj := g.BuildAdjacency()
+		d := Diameter(adj)
+		if d < 1 || d > n-1 {
+			return false
+		}
+		var totalStrength uint64
+		for _, s := range Strength(adj) {
+			totalStrength += s
+		}
+		var totalWeight uint64
+		for _, e := range g.Edges() {
+			totalWeight += uint64(e.W)
+		}
+		return totalStrength == 2*totalWeight
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by rank and path halving.
+// It backs connected-component extraction over thresholded CI graphs
+// (the paper's Figures 1–2 components).
+type UnionFind struct {
+	parent []int32
+	rank   []uint8
+	sets   int
+}
+
+// NewUnionFind creates n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int32, n), rank: make([]uint8, n), sets: n}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int32) int32 {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y; returns true if they were distinct.
+func (uf *UnionFind) Union(x, y int32) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.sets--
+	return true
+}
+
+// Same reports whether x and y are in one set.
+func (uf *UnionFind) Same(x, y int32) bool { return uf.Find(x) == uf.Find(y) }
+
+// Sets returns the current number of disjoint sets.
+func (uf *UnionFind) Sets() int { return uf.sets }
+
+// Len returns the number of elements.
+func (uf *UnionFind) Len() int { return len(uf.parent) }

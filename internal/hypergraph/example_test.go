@@ -1,0 +1,59 @@
+package hypergraph_test
+
+import (
+	"fmt"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/hypergraph"
+)
+
+// Three authors share pages 0 and 1; author 2 skips page 2. The triplet
+// hyperedge weight w_xyz counts the shared pages, and C normalizes by the
+// authors' page counts (equation 4).
+func ExampleEvaluate() {
+	btm := graph.BuildBTM([]graph.Comment{
+		{Author: 0, Page: 0, TS: 0}, {Author: 1, Page: 0, TS: 1}, {Author: 2, Page: 0, TS: 2},
+		{Author: 0, Page: 1, TS: 0}, {Author: 1, Page: 1, TS: 1}, {Author: 2, Page: 1, TS: 2},
+		{Author: 0, Page: 2, TS: 0}, {Author: 1, Page: 2, TS: 1},
+	}, 0, 0)
+	s := hypergraph.Evaluate(btm, hypergraph.NewTriplet(0, 1, 2))
+	fmt.Println("w_xyz =", s.W)
+	fmt.Printf("C = %.3f\n", s.C)
+	// Output:
+	// w_xyz = 2
+	// C = 0.750
+}
+
+// Windowed hyperedges (§4.3): page 0's three comments span 2 seconds, page
+// 1's span 2000 — only page 0 counts for a 60-second window.
+func ExampleWindowedTripletWeight() {
+	btm := graph.BuildBTM([]graph.Comment{
+		{Author: 0, Page: 0, TS: 0}, {Author: 1, Page: 0, TS: 1}, {Author: 2, Page: 0, TS: 2},
+		{Author: 0, Page: 1, TS: 0}, {Author: 1, Page: 1, TS: 1000}, {Author: 2, Page: 1, TS: 2000},
+	}, 0, 0)
+	t := hypergraph.NewTriplet(0, 1, 2)
+	fmt.Println("unwindowed:", hypergraph.TripletWeight(btm, t))
+	fmt.Println("windowed(60s):", hypergraph.WindowedTripletWeight(btm, t, 60))
+	// Output:
+	// unwindowed: 2
+	// windowed(60s): 1
+}
+
+// Triplets sharing a pair of authors coalesce into one group (§4.2).
+func ExampleBuildGroups() {
+	btm := graph.BuildBTM([]graph.Comment{
+		{Author: 0, Page: 0, TS: 0}, {Author: 1, Page: 0, TS: 1},
+		{Author: 2, Page: 0, TS: 2}, {Author: 3, Page: 0, TS: 3},
+	}, 0, 0)
+	groups := hypergraph.BuildGroups(btm, []hypergraph.Triplet{
+		hypergraph.NewTriplet(0, 1, 2),
+		hypergraph.NewTriplet(0, 1, 3),
+	})
+	fmt.Println("groups:", len(groups))
+	fmt.Println("members:", len(groups[0].Group))
+	fmt.Println("w_S:", groups[0].W)
+	// Output:
+	// groups: 1
+	// members: 4
+	// w_S: 1
+}

@@ -1,0 +1,85 @@
+// Package interner provides compact string↔ID interning used to map author
+// and page names onto dense uint32 vertex identifiers. Dense IDs keep the
+// graph containers slice-backed and cache-friendly, which matters at the
+// scale of a month of social-network comments.
+package interner
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ID is a dense identifier handed out by an Interner, starting at 0.
+type ID = uint32
+
+// Interner assigns dense IDs to strings. The zero value is ready to use.
+// It is safe for concurrent use.
+type Interner struct {
+	mu    sync.RWMutex
+	ids   map[string]ID
+	names []string
+}
+
+// New returns an Interner with capacity hint n.
+func New(n int) *Interner {
+	return &Interner{
+		ids:   make(map[string]ID, n),
+		names: make([]string, 0, n),
+	}
+}
+
+// Intern returns the ID for s, assigning a fresh one if s is new.
+func (in *Interner) Intern(s string) ID {
+	in.mu.RLock()
+	id, ok := in.ids[s]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	if in.ids == nil {
+		in.ids = make(map[string]ID)
+	}
+	id = ID(len(in.names))
+	in.ids[s] = id
+	in.names = append(in.names, s)
+	return id
+}
+
+// Lookup returns the ID for s and whether it has been interned.
+func (in *Interner) Lookup(s string) (ID, bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	id, ok := in.ids[s]
+	return id, ok
+}
+
+// Name returns the string for id. It panics if id was never assigned.
+func (in *Interner) Name(id ID) string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if int(id) >= len(in.names) {
+		panic(fmt.Sprintf("interner: unknown id %d (have %d)", id, len(in.names)))
+	}
+	return in.names[id]
+}
+
+// Len reports how many distinct strings have been interned.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.names)
+}
+
+// Names returns a copy of the id→name table.
+func (in *Interner) Names() []string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	out := make([]string, len(in.names))
+	copy(out, in.names)
+	return out
+}

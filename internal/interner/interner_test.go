@@ -1,0 +1,106 @@
+package interner
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternAssignsDenseIDs(t *testing.T) {
+	in := New(4)
+	a := in.Intern("alice")
+	b := in.Intern("bob")
+	a2 := in.Intern("alice")
+	if a != 0 || b != 1 || a2 != a {
+		t.Fatalf("ids = %d %d %d", a, b, a2)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d", in.Len())
+	}
+	if in.Name(a) != "alice" || in.Name(b) != "bob" {
+		t.Fatal("Name lookup wrong")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	in := New(0)
+	if _, ok := in.Lookup("missing"); ok {
+		t.Fatal("found missing name")
+	}
+	id := in.Intern("x")
+	got, ok := in.Lookup("x")
+	if !ok || got != id {
+		t.Fatal("lookup after intern failed")
+	}
+}
+
+func TestNamePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0).Name(5)
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var in Interner
+	if id := in.Intern("a"); id != 0 {
+		t.Fatalf("zero-value intern = %d", id)
+	}
+}
+
+func TestNamesCopy(t *testing.T) {
+	in := New(2)
+	in.Intern("a")
+	names := in.Names()
+	names[0] = "mutated"
+	if in.Name(0) != "a" {
+		t.Fatal("Names() aliases internal storage")
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	in := New(0)
+	var wg sync.WaitGroup
+	const workers, n = 8, 200
+	ids := make([][]ID, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]ID, n)
+			for i := 0; i < n; i++ {
+				ids[w][i] = in.Intern(fmt.Sprintf("name%d", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if in.Len() != n {
+		t.Fatalf("Len = %d, want %d", in.Len(), n)
+	}
+	for w := 1; w < workers; w++ {
+		for i := 0; i < n; i++ {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d got different id for name%d", w, i)
+			}
+		}
+	}
+}
+
+func TestQuickInternBijection(t *testing.T) {
+	// Property: Name(Intern(s)) == s for arbitrary strings.
+	f := func(ss []string) bool {
+		in := New(len(ss))
+		for _, s := range ss {
+			if in.Name(in.Intern(s)) != s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

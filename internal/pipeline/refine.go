@@ -1,0 +1,56 @@
+package pipeline
+
+import (
+	"coordbot/internal/graph"
+	"coordbot/internal/hypergraph"
+	"coordbot/internal/projection"
+)
+
+// Refinement helpers for the paper's §2.4 loop: "When authors are ruled
+// out of participating in coordinated activity, they can be removed from
+// the original dataset and the process can begin again with a more honed
+// approach" — and §2.2's opposite move, re-projecting just a group of
+// interest with a longer window.
+
+// RuleOut returns a copy of cfg whose exclusion set additionally contains
+// the given authors, for the next refinement iteration.
+func RuleOut(cfg Config, authors map[graph.VertexID]bool) Config {
+	out := cfg
+	merged := make(map[graph.VertexID]bool, len(cfg.Exclude)+len(authors))
+	for a := range cfg.Exclude {
+		merged[a] = true
+	}
+	for a := range authors {
+		merged[a] = true
+	}
+	out.Exclude = merged
+	return out
+}
+
+// TargetedReRun re-projects only the authors of interest (typically the
+// members of one detected component) with a different — usually longer —
+// window, and runs the remaining steps on that focused projection. The
+// paper: "use a small time window to identify triplets that we are
+// interested in … and reproject the original Bipartite Temporal Multigraph
+// for just this smaller group of users with a longer time window."
+func TargetedReRun(b *graph.BTM, base Config, authors []graph.VertexID, window projection.Window) (*Result, error) {
+	cfg := base
+	cfg.Window = window
+	cfg.Restrict = make(map[graph.VertexID]bool, len(authors))
+	for _, a := range authors {
+		cfg.Restrict[a] = true
+	}
+	return Run(b, cfg)
+}
+
+// ExpandGroups merges the result's triplets into maximal candidate groups
+// (triplets sharing a pair of authors coalesce) and scores each group with
+// the generalized hypergraph metrics — the §4.2 "build groups after the
+// fact" step.
+func (r *Result) ExpandGroups(b *graph.BTM) []hypergraph.GroupScore {
+	triplets := make([]hypergraph.Triplet, len(r.Triangles))
+	for i, tr := range r.Triangles {
+		triplets[i] = hypergraph.Triplet{X: tr.X, Y: tr.Y, Z: tr.Z}
+	}
+	return hypergraph.BuildGroups(b, triplets)
+}

@@ -1,0 +1,165 @@
+package pipeline
+
+import (
+	"testing"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/projection"
+)
+
+func TestRuleOutMergesExclusions(t *testing.T) {
+	cfg := Config{Exclude: map[graph.VertexID]bool{1: true}}
+	next := RuleOut(cfg, map[graph.VertexID]bool{2: true, 3: true})
+	if len(next.Exclude) != 3 || !next.Exclude[1] || !next.Exclude[2] || !next.Exclude[3] {
+		t.Fatalf("merged exclusions = %v", next.Exclude)
+	}
+	// Original config untouched.
+	if len(cfg.Exclude) != 1 {
+		t.Fatal("RuleOut mutated the input config")
+	}
+}
+
+func TestRefinementLoopShrinksSearchSpace(t *testing.T) {
+	// §2.4: rule out the responders found in round 1; round 2's search
+	// space no longer contains them but still finds the ring.
+	d := tinyDataset(t)
+	b := d.BTM()
+	cfg := Config{
+		Window:            projection.Window{Min: 0, Max: 60},
+		MinTriangleWeight: 20,
+		Exclude:           d.Helpers,
+	}
+	round1, err := Run(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := make(map[graph.VertexID]bool)
+	for _, id := range d.Truth["responder"] {
+		resp[id] = true
+	}
+	round2, err := Run(b, RuleOut(cfg, resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(round2.Triangles) >= len(round1.Triangles) {
+		t.Fatalf("ruling out did not shrink survivors: %d vs %d",
+			len(round2.Triangles), len(round1.Triangles))
+	}
+	for _, tr := range round2.Triangles {
+		if resp[tr.X] || resp[tr.Y] || resp[tr.Z] {
+			t.Fatal("ruled-out author still surveyed")
+		}
+	}
+	// The ring is still found.
+	found := false
+	ring := make(map[graph.VertexID]bool)
+	for _, id := range d.Truth["ring"] {
+		ring[id] = true
+	}
+	for _, tr := range round2.Triangles {
+		if ring[tr.X] && ring[tr.Y] && ring[tr.Z] {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("ring lost after refinement")
+	}
+}
+
+func TestTargetedReRun(t *testing.T) {
+	// §2.2: find the ring with a short window, re-project just its
+	// members with a 10x longer window. The focused projection contains
+	// only ring authors, and the weights can only grow.
+	d := tinyDataset(t)
+	b := d.BTM()
+	base := Config{
+		Window:            projection.Window{Min: 0, Max: 60},
+		MinTriangleWeight: 20,
+		Exclude:           d.Helpers,
+	}
+	round1, err := Run(b, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ringComp *graph.Component
+	ring := make(map[graph.VertexID]bool)
+	for _, id := range d.Truth["ring"] {
+		ring[id] = true
+	}
+	for i := range round1.Components {
+		for _, a := range round1.Components[i].Authors {
+			if ring[a] {
+				ringComp = &round1.Components[i]
+				break
+			}
+		}
+		if ringComp != nil {
+			break
+		}
+	}
+	if ringComp == nil {
+		t.Fatal("ring component not found in round 1")
+	}
+	focused, err := TargetedReRun(b, base, ringComp.Authors, projection.Window{Min: 0, Max: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make(map[graph.VertexID]bool)
+	for _, a := range ringComp.Authors {
+		members[a] = true
+	}
+	for _, e := range focused.CI.Edges() {
+		if !members[e.U] || !members[e.V] {
+			t.Fatalf("out-of-scope edge in targeted projection: %+v", e)
+		}
+		if e.W < round1.CI.Weight(e.U, e.V) {
+			t.Fatalf("longer window lost weight on (%d,%d)", e.U, e.V)
+		}
+	}
+	if focused.CI.NumEdges() == 0 {
+		t.Fatal("targeted projection empty")
+	}
+}
+
+func TestExpandGroups(t *testing.T) {
+	d := tinyDataset(t)
+	b := d.BTM()
+	res, err := Run(b, Config{
+		Window:            projection.Window{Min: 0, Max: 60},
+		MinTriangleWeight: 20,
+		MinTScore:         0.5,
+		Exclude:           d.Helpers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := res.ExpandGroups(b)
+	if len(groups) == 0 {
+		t.Fatal("no groups")
+	}
+	// The ring's 20 triangles must coalesce into one 6-member group.
+	ring := make(map[graph.VertexID]bool)
+	for _, id := range d.Truth["ring"] {
+		ring[id] = true
+	}
+	foundRing := false
+	for _, g := range groups {
+		all := true
+		for _, m := range g.Group {
+			if !ring[m] {
+				all = false
+				break
+			}
+		}
+		if all && len(g.Group) >= 6 {
+			foundRing = true
+			if g.W < 20 || g.C <= 0 {
+				t.Fatalf("ring group scores wrong: %+v", g)
+			}
+		}
+	}
+	if !foundRing {
+		t.Fatalf("ring not assembled from triplets: %+v", groups)
+	}
+}

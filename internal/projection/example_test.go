@@ -1,0 +1,51 @@
+package projection_test
+
+import (
+	"fmt"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/projection"
+)
+
+// Projecting a three-comment page with a (0s,60s) window: the two comments
+// 10 seconds apart form a CI edge; the one 100 seconds later does not.
+func ExampleProjectSequential() {
+	btm := graph.BuildBTM([]graph.Comment{
+		{Author: 0, Page: 0, TS: 0},
+		{Author: 1, Page: 0, TS: 10},
+		{Author: 2, Page: 0, TS: 110},
+	}, 0, 0)
+	ci, err := projection.ProjectSequential(btm, projection.Window{Min: 0, Max: 60}, projection.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("w'(0,1) =", ci.Weight(0, 1))
+	fmt.Println("w'(1,2) =", ci.Weight(1, 2))
+	fmt.Println("P'(0) =", ci.PageCount(0))
+	// Output:
+	// w'(0,1) = 1
+	// w'(1,2) = 0
+	// P'(0) = 1
+}
+
+// The §3 bucket workaround: buckets partition the window, and the
+// page-major bucket-union projection equals the direct one exactly.
+func ExampleProjectBucketed() {
+	btm := graph.BuildBTM([]graph.Comment{
+		{Author: 0, Page: 0, TS: 0},
+		{Author: 1, Page: 0, TS: 45},
+		{Author: 2, Page: 0, TS: 500},
+	}, 0, 0)
+	direct, _ := projection.ProjectSequential(btm, projection.Window{Min: 0, Max: 600}, projection.Options{})
+	bucketed, _ := projection.ProjectBucketed(btm, projection.UniformBuckets(0, 600, 10), projection.Options{})
+	fmt.Println("equal:", direct.Equal(bucketed))
+	fmt.Println("edges:", bucketed.NumEdges())
+	// Output:
+	// equal: true
+	// edges: 3
+}
+
+func ExampleWindow_String() {
+	fmt.Println(projection.Window{Min: 0, Max: 60})
+	// Output: (0s, 60s)
+}

@@ -1,0 +1,41 @@
+package pushshift
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the NDJSON ingester against arbitrary inputs: it must
+// never panic, and whatever it parses must survive a write→read round
+// trip unchanged.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte(`{"author":"a","link_id":"t3_x","created_utc":1}` + "\n"))
+	f.Add([]byte(`{"author":"b","link_id":"t3_y","created_utc":"77"}` + "\n"))
+	f.Add([]byte("junk\n\n{\"author\":\"\x00\",\"link_id\":\"z\",\"created_utc\":0}\n"))
+	f.Add([]byte{0x1f, 0x8b, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c.Comments, c.Authors, c.Pages, false); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		c2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(c2.Comments) != len(c.Comments) || c2.Skipped != 0 {
+			t.Fatalf("round trip lost records: %d vs %d (skipped %d)",
+				len(c2.Comments), len(c.Comments), c2.Skipped)
+		}
+		for i := range c.Comments {
+			if c.Authors.Name(c.Comments[i].Author) != c2.Authors.Name(c2.Comments[i].Author) ||
+				c.Pages.Name(c.Comments[i].Page) != c2.Pages.Name(c2.Comments[i].Page) ||
+				c.Comments[i].TS != c2.Comments[i].TS {
+				t.Fatalf("record %d mutated in round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,213 @@
+// Package pushshift reads and writes comment records in the NDJSON format
+// of the Pushshift Reddit archives (files.pushshift.io/reddit), the data
+// source of the paper. Each line is a JSON object; the three fields the
+// pipeline needs are the author name, the page ("link_id", the root
+// submission of the comment tree), and the creation time ("created_utc").
+// Everything else is ignored on read. Gzip streams are detected by magic
+// bytes, matching the archives' compressed distribution.
+package pushshift
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/interner"
+)
+
+// Record is one comment line of a Pushshift dump (the fields we use).
+type Record struct {
+	Author     string  `json:"author"`
+	LinkID     string  `json:"link_id"`
+	CreatedUTC Float64 `json:"created_utc"`
+}
+
+// Float64 accepts Pushshift's mixed encodings of created_utc (number or
+// numeric string, both occur across archive years).
+type Float64 float64
+
+// UnmarshalJSON implements json.Unmarshaler for the mixed encodings.
+func (f *Float64) UnmarshalJSON(b []byte) error {
+	if len(b) > 1 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("pushshift: bad created_utc %q: %w", s, err)
+		}
+		*f = Float64(v)
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float64(v)
+	return nil
+}
+
+// Corpus is an ingested comment stream with its interned identity tables.
+type Corpus struct {
+	Comments []graph.Comment
+	Authors  *interner.Interner
+	Pages    *interner.Interner
+	// Skipped counts malformed lines that were dropped.
+	Skipped int
+}
+
+// BTM builds the bipartite temporal multigraph of the corpus.
+func (c *Corpus) BTM() *graph.BTM {
+	return graph.BuildBTM(c.Comments, c.Authors.Len(), c.Pages.Len())
+}
+
+// isGzip sniffs the two gzip magic bytes.
+func isGzip(br *bufio.Reader) bool {
+	b, err := br.Peek(2)
+	return err == nil && b[0] == 0x1f && b[1] == 0x8b
+}
+
+// Read ingests an NDJSON (optionally gzipped) comment stream. Malformed
+// lines are counted and skipped, not fatal — real dumps contain them.
+func Read(r io.Reader) (*Corpus, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var src io.Reader = br
+	if isGzip(br) {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("pushshift: gzip: %w", err)
+		}
+		defer gz.Close()
+		src = gz
+	}
+	c := &Corpus{Authors: interner.New(1 << 12), Pages: interner.New(1 << 12)}
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Author == "" || rec.LinkID == "" {
+			c.Skipped++
+			continue
+		}
+		c.Comments = append(c.Comments, graph.Comment{
+			Author: c.Authors.Intern(rec.Author),
+			Page:   c.Pages.Intern(rec.LinkID),
+			TS:     int64(rec.CreatedUTC),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pushshift: scan: %w", err)
+	}
+	return c, nil
+}
+
+// ReadFunc streams an NDJSON(.gz) comment stream record by record without
+// materializing a corpus: fn is called once per well-formed record in file
+// order. Pair with stream.Projector for bounded-memory projection of dumps
+// that do not fit in RAM. Returns the number of malformed lines skipped.
+func ReadFunc(r io.Reader, fn func(author, linkID string, ts int64) error) (skipped int, err error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var src io.Reader = br
+	if isGzip(br) {
+		gz, gerr := gzip.NewReader(br)
+		if gerr != nil {
+			return 0, fmt.Errorf("pushshift: gzip: %w", gerr)
+		}
+		defer gz.Close()
+		src = gz
+	}
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Author == "" || rec.LinkID == "" {
+			skipped++
+			continue
+		}
+		if err := fn(rec.Author, rec.LinkID, int64(rec.CreatedUTC)); err != nil {
+			return skipped, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return skipped, fmt.Errorf("pushshift: scan: %w", err)
+	}
+	return skipped, nil
+}
+
+// ReadFile ingests a file, transparently handling .gz.
+func ReadFile(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Write emits comments as NDJSON, resolving IDs through the interners.
+// gzipped controls compression.
+func Write(w io.Writer, comments []graph.Comment, authors, pages *interner.Interner, gzipped bool) error {
+	var out io.Writer = w
+	var gz *gzip.Writer
+	if gzipped {
+		gz = gzip.NewWriter(w)
+		out = gz
+	}
+	bw := bufio.NewWriterSize(out, 1<<20)
+	enc := json.NewEncoder(bw)
+	for _, c := range comments {
+		rec := Record{
+			Author:     authors.Name(c.Author),
+			LinkID:     pages.Name(c.Page),
+			CreatedUTC: Float64(c.TS),
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("pushshift: encode: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if gz != nil {
+		return gz.Close()
+	}
+	return nil
+}
+
+// WriteFile writes comments to path; a ".gz" suffix enables compression.
+func WriteFile(path string, comments []graph.Comment, authors, pages *interner.Interner) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	gzipped := len(path) > 3 && path[len(path)-3:] == ".gz"
+	if err := Write(f, comments, authors, pages, gzipped); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SyntheticPageNames returns an interner holding "t3_<n>" names for n
+// pages, for exporting generated datasets in archive format.
+func SyntheticPageNames(n int) *interner.Interner {
+	in := interner.New(n)
+	for i := 0; i < n; i++ {
+		in.Intern(fmt.Sprintf("t3_%07d", i))
+	}
+	return in
+}

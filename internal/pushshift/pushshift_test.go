@@ -1,0 +1,176 @@
+package pushshift
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/interner"
+)
+
+const sample = `{"author":"alice","link_id":"t3_aaa","created_utc":100}
+{"author":"bob","link_id":"t3_aaa","created_utc":"105"}
+
+{"author":"alice","link_id":"t3_bbb","created_utc":200.0}
+not json at all
+{"author":"","link_id":"t3_ccc","created_utc":1}
+`
+
+func TestReadBasic(t *testing.T) {
+	c, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Comments) != 3 {
+		t.Fatalf("comments = %d, want 3", len(c.Comments))
+	}
+	if c.Skipped != 2 {
+		t.Fatalf("skipped = %d, want 2 (bad json + empty author)", c.Skipped)
+	}
+	if c.Authors.Len() != 2 || c.Pages.Len() != 2 {
+		t.Fatalf("authors=%d pages=%d, want 2,2", c.Authors.Len(), c.Pages.Len())
+	}
+	// String created_utc must parse.
+	bobID, _ := c.Authors.Lookup("bob")
+	for _, cm := range c.Comments {
+		if cm.Author == bobID && cm.TS != 105 {
+			t.Fatalf("bob TS = %d, want 105", cm.TS)
+		}
+	}
+	b := c.BTM()
+	if b.NumEdges() != 3 {
+		t.Fatalf("BTM edges = %d", b.NumEdges())
+	}
+}
+
+func TestRoundTripPlain(t *testing.T) {
+	roundTrip(t, false)
+}
+
+func TestRoundTripGzip(t *testing.T) {
+	roundTrip(t, true)
+}
+
+func roundTrip(t *testing.T, gz bool) {
+	t.Helper()
+	authors := interner.New(4)
+	pages := interner.New(4)
+	comments := []graph.Comment{
+		{Author: authors.Intern("alice"), Page: pages.Intern("t3_x"), TS: 10},
+		{Author: authors.Intern("bob"), Page: pages.Intern("t3_y"), TS: 20},
+		{Author: authors.Intern("alice"), Page: pages.Intern("t3_y"), TS: 30},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, comments, authors, pages, gz); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Comments) != 3 || c.Skipped != 0 {
+		t.Fatalf("read back %d comments, %d skipped", len(c.Comments), c.Skipped)
+	}
+	for i, cm := range c.Comments {
+		if c.Authors.Name(cm.Author) != authors.Name(comments[i].Author) ||
+			c.Pages.Name(cm.Page) != pages.Name(comments[i].Page) ||
+			cm.TS != comments[i].TS {
+			t.Fatalf("comment %d mismatch", i)
+		}
+	}
+}
+
+func TestReadWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	authors := interner.New(2)
+	pages := SyntheticPageNames(3)
+	comments := []graph.Comment{
+		{Author: authors.Intern("u1"), Page: 0, TS: 1},
+		{Author: authors.Intern("u2"), Page: 2, TS: 2},
+	}
+	for _, fn := range []string{"d.ndjson", "d.ndjson.gz"} {
+		path := filepath.Join(dir, fn)
+		if err := WriteFile(path, comments, authors, pages); err != nil {
+			t.Fatal(err)
+		}
+		c, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Comments) != 2 {
+			t.Fatalf("%s: %d comments", fn, len(c.Comments))
+		}
+		if name := c.Pages.Name(c.Comments[1].Page); name != "t3_0000002" {
+			t.Fatalf("%s: page name %q", fn, name)
+		}
+	}
+	// gz file must actually be gzipped.
+	raw, _ := os.ReadFile(filepath.Join(dir, "d.ndjson.gz"))
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatal("gz file missing gzip magic")
+	}
+}
+
+func TestQuickRoundTripIdentity(t *testing.T) {
+	// Property: write→read is the identity on arbitrary comment streams.
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%64) + 1
+		authors := interner.New(8)
+		pages := interner.New(8)
+		comments := make([]graph.Comment, n)
+		for i := range comments {
+			comments[i] = graph.Comment{
+				Author: authors.Intern(randName(rng, "u")),
+				Page:   pages.Intern(randName(rng, "t3_")),
+				TS:     rng.Int63n(1 << 40),
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, comments, authors, pages, seed%2 == 0); err != nil {
+			return false
+		}
+		c, err := Read(&buf)
+		if err != nil || len(c.Comments) != n || c.Skipped != 0 {
+			return false
+		}
+		for i, cm := range c.Comments {
+			if c.Authors.Name(cm.Author) != authors.Name(comments[i].Author) ||
+				c.Pages.Name(cm.Page) != pages.Name(comments[i].Page) ||
+				cm.TS != comments[i].TS {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randName(rng *rand.Rand, prefix string) string {
+	const letters = "abcdefghij"
+	b := make([]byte, 5)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return prefix + string(b)
+}
+
+func TestFloat64Encodings(t *testing.T) {
+	var f Float64
+	if err := f.UnmarshalJSON([]byte(`1234.5`)); err != nil || f != 1234.5 {
+		t.Fatalf("number: %v %v", f, err)
+	}
+	if err := f.UnmarshalJSON([]byte(`"999"`)); err != nil || f != 999 {
+		t.Fatalf("string: %v %v", f, err)
+	}
+	if err := f.UnmarshalJSON([]byte(`"abc"`)); err == nil {
+		t.Fatal("bad string accepted")
+	}
+}

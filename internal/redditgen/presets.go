@@ -1,0 +1,200 @@
+package redditgen
+
+import "fmt"
+
+// Presets model the paper's two analysis months at laptop scale. The knobs
+// are tuned so the planted networks land in the weight ranges the thesis
+// reports for a (0s,60s) projection:
+//
+//   - GPT-2 ring: subset-of-ring commenting, fast generation delays; pair
+//     weights concentrate in the mid-20s to mid-30s ("between 33 and 25").
+//   - Reshare ring: an always-on 8-bot core over ~90 trigger pages gives
+//     core pair weights near 90 and core–peripheral weights in the 30s
+//     ("from 27 up to 91").
+//   - Reply-trigger bots: thousands of organic pages hit by all three bots
+//     → pair weights two orders of magnitude above everything else (the
+//     (4460, 5516, 13355) outlier triangle, scaled down).
+//
+// scale multiplies the organic corpus (authors, pages, comments) and the
+// reply-trigger page count; the ring structures stay fixed because their
+// weight ranges are the reproduction target.
+
+// scaleInt scales n by s with a floor of 1.
+func scaleInt(n int, s float64) int {
+	v := int(float64(n) * s)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// minorRings plants n small independent reshare rings. The paper finds 39
+// distinct components at cutoff 25 in January 2020 — the platform hosts
+// many unrelated coordinated groups, not just the three it narrates — so
+// the preset populates the census with minor rings whose pair weights land
+// just above the cutoff.
+func minorRings(n int, seedPages int) []BotnetSpec {
+	out := make([]BotnetSpec, n)
+	for i := range out {
+		out[i] = BotnetSpec{
+			Kind: ReshareRing,
+			Name: fmt.Sprintf("minor_%02d", i),
+			Bots: 4 + i%3,
+			// 26..40 pages → core pair weights ≈ pages, above 25.
+			Pages:      seedPages + (i*7)%15,
+			SubsetSize: 4 + i%3,
+			MinDelay:   1, MaxDelay: 6,
+		}
+	}
+	return out
+}
+
+// Jan2020 models the January 2020 snapshot (§3.1): organic background plus
+// the GPT-2 ring, the MLB reshare ring, the smiley reply bots, and a
+// population of minor rings matching the paper's 39-component census.
+func Jan2020(scale float64) Config {
+	if scale <= 0 {
+		scale = 1
+	}
+	const start int64 = 1577836800 // 2020-01-01 00:00:00 UTC
+	return Config{
+		Seed:  20200101,
+		Start: start,
+		End:   start + 31*24*3600,
+		Organic: OrganicConfig{
+			Authors:         scaleInt(20000, scale),
+			Pages:           scaleInt(9000, scale),
+			Comments:        scaleInt(450000, scale),
+			AuthorZipfS:     1.2,
+			PageZipfS:       1.15,
+			PageHalfLife:    4 * 3600,
+			DeletedFraction: 0.02,
+		},
+		Botnets: append([]BotnetSpec{
+			{
+				Kind: GPT2Ring, Name: "gpt2",
+				Bots: 30, Pages: 900, SubsetSize: 10,
+				// Independent offsets over five minutes: only ~36% of
+				// subset pairs land within a 60s window on any page, so
+				// ~900 pages put intra-ring weights just around the
+				// cutoff-25 band ("most of the edges … on the lower
+				// end") while the delay profile stays "paced".
+				MinDelay: 0, MaxDelay: 300,
+				SoloPageFraction: 0.35,
+			},
+			{
+				Kind: ReshareRing, Name: "mlbstreams",
+				Bots: 12, Pages: 90, SubsetSize: 8,
+				MinDelay: 1, MaxDelay: 5,
+			},
+			{
+				Kind: ReplyTrigger, Name: "smiley",
+				Bots: 3, Pages: scaleInt(2600, scale),
+				MinDelay: 1, MaxDelay: 8,
+			},
+		}, minorRings(36, 26)...),
+		// A benign book-club-like community: spatially identical to a
+		// botnet (same niche pages), temporally innocent (comments
+		// scattered over days). The temporal pipeline must not flag it;
+		// co-occurrence baselines do (experiment X4).
+		Cohorts: []CohortSpec{{
+			Name: "bookclub", Users: 12, Pages: 60,
+		}},
+		AutoModerator: true,
+	}
+}
+
+// Oct2016 models the October 2016 snapshot (§3.2): a smaller network of
+// similar organic structure. GPT-2 did not exist in 2016, so the planted
+// coordination is a reshare ring (political link distribution ahead of the
+// election) and a responder-bot pair of the same flavour, giving the
+// hexbin figures comparable mass without the January anecdotes.
+func Oct2016(scale float64) Config {
+	if scale <= 0 {
+		scale = 1
+	}
+	const start int64 = 1475280000 // 2016-10-01 00:00:00 UTC
+	return Config{
+		Seed:  20161001,
+		Start: start,
+		End:   start + 31*24*3600,
+		Organic: OrganicConfig{
+			Authors:         scaleInt(12000, scale),
+			Pages:           scaleInt(6000, scale),
+			Comments:        scaleInt(280000, scale),
+			AuthorZipfS:     1.2,
+			PageZipfS:       1.15,
+			PageHalfLife:    4 * 3600,
+			DeletedFraction: 0.02,
+		},
+		Botnets: []BotnetSpec{
+			{
+				Kind: ReshareRing, Name: "newslinks",
+				Bots: 10, Pages: 70, SubsetSize: 6,
+				MinDelay: 1, MaxDelay: 6,
+			},
+			{
+				Kind: ReplyTrigger, Name: "responder",
+				Bots: 3, Pages: scaleInt(1400, scale),
+				MinDelay: 2, MaxDelay: 12,
+			},
+		},
+		AutoModerator: true,
+	}
+}
+
+// DenseWeek is a small but comment-dense dataset (many comments per page).
+// Density is what drives the paper's window-convergence effect (Figures
+// 5→7→9): short windows capture only a sliver of each page's
+// co-occurrence, so T underestimates C; longer windows converge the two.
+func DenseWeek(seed int64) Config {
+	return Config{
+		Seed:  seed,
+		Start: 0,
+		End:   14 * 24 * 3600,
+		Organic: OrganicConfig{
+			Authors:         600,
+			Pages:           200,
+			Comments:        50000,
+			PageHalfLife:    2 * 3600,
+			DeletedFraction: 0.02,
+		},
+		Botnets: []BotnetSpec{
+			{
+				Kind: ReshareRing, Name: "ring",
+				Bots: 8, Pages: 40, SubsetSize: 6,
+				MinDelay: 1, MaxDelay: 5,
+			},
+		},
+		AutoModerator: true,
+	}
+}
+
+// Tiny is a fast dataset for tests and the quickstart example.
+func Tiny(seed int64) Config {
+	return Config{
+		Seed:  seed,
+		Start: 0,
+		End:   7 * 24 * 3600,
+		Organic: OrganicConfig{
+			Authors:         800,
+			Pages:           400,
+			Comments:        15000,
+			PageHalfLife:    2 * 3600,
+			DeletedFraction: 0.02,
+		},
+		Botnets: []BotnetSpec{
+			{
+				Kind: ReshareRing, Name: "ring",
+				Bots: 8, Pages: 40, SubsetSize: 6,
+				MinDelay: 1, MaxDelay: 5,
+			},
+			{
+				Kind: ReplyTrigger, Name: "responder",
+				Bots: 3, Pages: 200,
+				MinDelay: 1, MaxDelay: 8,
+			},
+		},
+		AutoModerator: true,
+	}
+}

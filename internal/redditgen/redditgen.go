@@ -1,0 +1,512 @@
+// Package redditgen generates synthetic Reddit-like comment streams with
+// planted coordination, standing in for the Pushshift archives the paper
+// analyzes (which are both enormous and no longer distributable).
+//
+// The pipeline under test is content-agnostic — it sees only
+// (author, page, timestamp) triples — so the generator's job is to
+// reproduce the temporal/spatial *signatures* the thesis reports, with
+// ground-truth labels so detection quality becomes measurable:
+//
+//   - Organic background: heavy-tailed (Zipf) author activity and page
+//     popularity, pages with bursty early lifetimes. Very active organic
+//     users co-occur often — the false-positive source the normalized
+//     scores are designed to suppress.
+//   - GPT2Ring (§3.1.1): a text-generation ring confined to its own pages;
+//     solo pages (creator self-replies, invisible to projection) and mixed
+//     pages where a random subset of the ring comments minutes apart.
+//   - ReshareRing (§3.1.2): share/reshare link distribution; a trigger page
+//     is created and a core clique plus some peripherals comment within
+//     seconds, producing a dense, heavy component (the 8-clique, weights
+//     27–91).
+//   - ReplyTrigger (§3.1.4): bots that answer a trigger anywhere on the
+//     platform (the ":)" bots), co-occurring on a huge number of organic
+//     pages and producing the max-min-weight outlier triangle.
+//   - Helper bots (§3): AutoModerator commenting first on every page, and
+//     a "[deleted]" placeholder author absorbing a fraction of organic
+//     comments — the exclusions the paper applies before projecting.
+package redditgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/interner"
+)
+
+// BotnetKind selects a planted coordination pattern.
+type BotnetKind int
+
+// The supported botnet behaviours.
+const (
+	// GPT2Ring mimics the GPT-2 text-generation subreddit of §3.1.1.
+	GPT2Ring BotnetKind = iota
+	// ReshareRing mimics the copyright-stream link ring of §3.1.2.
+	ReshareRing
+	// ReplyTrigger mimics the ":)"-responder bots of §3.1.4.
+	ReplyTrigger
+	// SockpuppetChain mimics threaded fake engagement: a small cast of
+	// puppets holds staged back-and-forth "conversations" on organic
+	// pages, a handful of exchanges each, minutes apart — slower than a
+	// reshare burst, tighter than organic traffic. The paper's survey
+	// reference (Khaund et al. [10]) catalogues this behaviour.
+	SockpuppetChain
+)
+
+// String names the kind.
+func (k BotnetKind) String() string {
+	switch k {
+	case GPT2Ring:
+		return "gpt2-ring"
+	case ReshareRing:
+		return "reshare-ring"
+	case ReplyTrigger:
+		return "reply-trigger"
+	case SockpuppetChain:
+		return "sockpuppet-chain"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// BotnetSpec plants one coordinated network.
+type BotnetSpec struct {
+	Kind BotnetKind
+	// Name labels the network in ground truth (e.g. "gpt2").
+	Name string
+	// Bots is the account count.
+	Bots int
+	// Pages is the number of pages the network operates (GPT2Ring,
+	// ReshareRing) or responds on (ReplyTrigger: organic pages hit).
+	Pages int
+	// SubsetSize is, for GPT2Ring, how many ring members comment on each
+	// mixed page; for ReshareRing, the core clique size (the rest of the
+	// bots participate with probability 0.4 per page).
+	SubsetSize int
+	// MinDelay/MaxDelay bound the bot timing. For ReshareRing and
+	// ReplyTrigger they are the gap between *consecutive* bot comments
+	// (the chain reaction after a trigger). For GPT2Ring they are each
+	// bot's *independent* offset from page creation: text generation is
+	// "slower moving" (§4.1) — members post on their own schedules
+	// within minutes, not in a burst chain.
+	MinDelay, MaxDelay int64
+	// SoloPageFraction is, for GPT2Ring, the fraction of the ring's pages
+	// where only the creator self-replies (no projection signal).
+	SoloPageFraction float64
+}
+
+// OrganicConfig shapes the background traffic.
+type OrganicConfig struct {
+	Authors  int
+	Pages    int
+	Comments int
+	// AuthorZipfS / PageZipfS are Zipf exponents (>1), default 1.2.
+	AuthorZipfS float64
+	PageZipfS   float64
+	// PageHalfLife is the mean of the exponential comment-age
+	// distribution after page creation, in seconds (default 6h).
+	PageHalfLife float64
+	// DeletedFraction of organic comments are re-attributed to the
+	// "[deleted]" placeholder author (default 0.02).
+	DeletedFraction float64
+}
+
+// CohortSpec plants a *benign* community cohort: users who share a niche
+// interest and therefore comment on the same small set of pages — but at
+// independent, uncoordinated times spread over each page's life. They are
+// spatially identical to a botnet and temporally innocent: purely
+// co-occurrence-based detectors (the Pacheco-style baseline) flag them,
+// the paper's windowed projection does not.
+type CohortSpec struct {
+	Name  string
+	Users int
+	Pages int
+	// Participation is each user's probability of commenting on each
+	// cohort page (default 0.9).
+	Participation float64
+	// SpreadSeconds is the span over which a page's cohort comments
+	// scatter (default 3 days) — far wider than any projection window.
+	SpreadSeconds int64
+}
+
+// Config is a full dataset description.
+type Config struct {
+	Seed    int64
+	Start   int64 // unix epoch seconds of the observation window
+	End     int64
+	Organic OrganicConfig
+	Botnets []BotnetSpec
+	// Cohorts are benign tight communities (see CohortSpec).
+	Cohorts []CohortSpec
+	// AutoModerator, when true, adds an automatic first comment on every
+	// page (organic and botnet alike).
+	AutoModerator bool
+}
+
+// Dataset is a generated comment stream plus ground truth.
+type Dataset struct {
+	Comments []graph.Comment
+	Authors  *interner.Interner
+	NumPages int
+	// Truth maps botnet name → member author IDs.
+	Truth map[string][]graph.VertexID
+	// Benign maps cohort name → member author IDs (tight communities
+	// that must NOT be flagged).
+	Benign map[string][]graph.VertexID
+	// Helpers are the author IDs of AutoModerator and [deleted] (the §3
+	// exclusion set).
+	Helpers map[graph.VertexID]bool
+}
+
+// BTM builds the bipartite temporal multigraph of the dataset.
+func (d *Dataset) BTM() *graph.BTM {
+	return graph.BuildBTM(d.Comments, d.Authors.Len(), d.NumPages)
+}
+
+// BotOf maps every planted bot author ID to its network name.
+func (d *Dataset) BotOf() map[graph.VertexID]string {
+	out := make(map[graph.VertexID]string)
+	for name, ids := range d.Truth {
+		for _, id := range ids {
+			out[id] = name
+		}
+	}
+	return out
+}
+
+// AllBots returns the set of all planted bot IDs.
+func (d *Dataset) AllBots() map[graph.VertexID]bool {
+	out := make(map[graph.VertexID]bool)
+	for _, ids := range d.Truth {
+		for _, id := range ids {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+type genState struct {
+	rng      *rand.Rand
+	cfg      Config
+	authors  *interner.Interner
+	comments []graph.Comment
+	pages    int
+	// page creation times, indexed by page ID, for AutoModerator.
+	pageCreated []int64
+}
+
+func (g *genState) newPage(created int64) graph.VertexID {
+	id := graph.VertexID(g.pages)
+	g.pages++
+	g.pageCreated = append(g.pageCreated, created)
+	return id
+}
+
+func (g *genState) add(author graph.VertexID, page graph.VertexID, ts int64) {
+	g.comments = append(g.comments, graph.Comment{Author: author, Page: page, TS: ts})
+}
+
+// Generate produces a dataset from cfg. Identical configs produce identical
+// datasets (single seeded source, fixed generation order).
+func Generate(cfg Config) *Dataset {
+	if cfg.End <= cfg.Start {
+		cfg.End = cfg.Start + 30*24*3600 // one month
+	}
+	o := &cfg.Organic
+	if o.AuthorZipfS <= 1 {
+		o.AuthorZipfS = 1.2
+	}
+	if o.PageZipfS <= 1 {
+		o.PageZipfS = 1.2
+	}
+	if o.PageHalfLife <= 0 {
+		o.PageHalfLife = 6 * 3600
+	}
+	if o.DeletedFraction < 0 {
+		o.DeletedFraction = 0
+	}
+
+	g := &genState{
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg:     cfg,
+		authors: interner.New(o.Authors + 64),
+	}
+
+	ds := &Dataset{
+		Truth:   make(map[string][]graph.VertexID),
+		Benign:  make(map[string][]graph.VertexID),
+		Helpers: make(map[graph.VertexID]bool),
+	}
+
+	// Reserve helper identities first so their IDs are stable.
+	autoMod := g.authors.Intern("AutoModerator")
+	deleted := g.authors.Intern("[deleted]")
+	ds.Helpers[autoMod] = true
+	ds.Helpers[deleted] = true
+
+	g.generateOrganic(deleted)
+	for i := range cfg.Botnets {
+		spec := &cfg.Botnets[i]
+		if spec.Name == "" {
+			spec.Name = fmt.Sprintf("%s-%d", spec.Kind, i)
+		}
+		var members []graph.VertexID
+		switch spec.Kind {
+		case GPT2Ring:
+			members = g.generateGPT2(spec)
+		case ReshareRing:
+			members = g.generateReshare(spec)
+		case ReplyTrigger:
+			members = g.generateReplyTrigger(spec)
+		case SockpuppetChain:
+			members = g.generateSockpuppets(spec)
+		default:
+			panic(fmt.Sprintf("redditgen: unknown botnet kind %d", spec.Kind))
+		}
+		ds.Truth[spec.Name] = members
+	}
+
+	for i := range cfg.Cohorts {
+		spec := &cfg.Cohorts[i]
+		if spec.Name == "" {
+			spec.Name = fmt.Sprintf("cohort-%d", i)
+		}
+		ds.Benign[spec.Name] = g.generateCohort(spec)
+	}
+
+	if cfg.AutoModerator {
+		for p, created := range g.pageCreated {
+			g.add(autoMod, graph.VertexID(p), created+g.rng.Int63n(3))
+		}
+	}
+
+	// Sort by time for realism of the stream (ingest order).
+	sort.Slice(g.comments, func(i, j int) bool {
+		if g.comments[i].TS != g.comments[j].TS {
+			return g.comments[i].TS < g.comments[j].TS
+		}
+		if g.comments[i].Page != g.comments[j].Page {
+			return g.comments[i].Page < g.comments[j].Page
+		}
+		return g.comments[i].Author < g.comments[j].Author
+	})
+
+	ds.Comments = g.comments
+	ds.Authors = g.authors
+	ds.NumPages = g.pages
+	return ds
+}
+
+// generateOrganic emits the background traffic.
+func (g *genState) generateOrganic(deleted graph.VertexID) {
+	o := g.cfg.Organic
+	if o.Authors <= 0 || o.Pages <= 0 || o.Comments <= 0 {
+		return
+	}
+	span := g.cfg.End - g.cfg.Start
+
+	// Intern organic authors densely.
+	ids := make([]graph.VertexID, o.Authors)
+	for i := range ids {
+		ids[i] = g.authors.Intern(fmt.Sprintf("user_%06d", i))
+	}
+
+	authorZ := rand.NewZipf(g.rng, o.AuthorZipfS, 1, uint64(o.Authors-1))
+	pageZ := rand.NewZipf(g.rng, o.PageZipfS, 1, uint64(o.Pages-1))
+
+	pageIDs := make([]graph.VertexID, o.Pages)
+	for i := range pageIDs {
+		created := g.cfg.Start + g.rng.Int63n(span)
+		pageIDs[i] = g.newPage(created)
+	}
+
+	for i := 0; i < o.Comments; i++ {
+		a := ids[authorZ.Uint64()]
+		if o.DeletedFraction > 0 && g.rng.Float64() < o.DeletedFraction {
+			a = deleted
+		}
+		p := pageZ.Uint64()
+		page := pageIDs[p]
+		// Comment age after creation: exponential burst decay.
+		age := int64(g.rng.ExpFloat64() * o.PageHalfLife)
+		ts := g.pageCreated[page] + age
+		if ts >= g.cfg.End {
+			ts = g.cfg.End - 1
+		}
+		g.add(a, page, ts)
+	}
+}
+
+// internBots assigns fresh author IDs named prefix_NNN.
+func (g *genState) internBots(prefix string, n int) []graph.VertexID {
+	out := make([]graph.VertexID, n)
+	for i := range out {
+		out[i] = g.authors.Intern(fmt.Sprintf("%s_%03d", prefix, i))
+	}
+	return out
+}
+
+func (g *genState) delay(spec *BotnetSpec) int64 {
+	lo, hi := spec.MinDelay, spec.MaxDelay
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return lo + g.rng.Int63n(hi-lo)
+}
+
+// generateGPT2 plants the §3.1.1 text-generation ring: pages live in the
+// ring's own "subreddit"; solo pages have only creator self-replies, mixed
+// pages get a random subset of the ring commenting in sequence.
+func (g *genState) generateGPT2(spec *BotnetSpec) []graph.VertexID {
+	bots := g.internBots(spec.Name, spec.Bots)
+	span := g.cfg.End - g.cfg.Start
+	for p := 0; p < spec.Pages; p++ {
+		created := g.cfg.Start + g.rng.Int63n(span)
+		page := g.newPage(created)
+		creator := bots[g.rng.Intn(len(bots))]
+		t := created
+		g.add(creator, page, t)
+		if g.rng.Float64() < spec.SoloPageFraction {
+			// Creator replies to itself a few times; self-pairs are
+			// invisible to the projection (x != y check).
+			for r := 0; r < 3+g.rng.Intn(5); r++ {
+				t += g.delay(spec)
+				g.add(creator, page, t)
+			}
+			continue
+		}
+		// Mixed page: a random subset of the ring replies, each at an
+		// independent offset from creation (machine-paced, not burst).
+		k := spec.SubsetSize
+		if k <= 0 || k > len(bots) {
+			k = len(bots)
+		}
+		perm := g.rng.Perm(len(bots))
+		for _, bi := range perm[:k] {
+			g.add(bots[bi], page, created+g.delay(spec))
+		}
+	}
+	return bots
+}
+
+// generateReshare plants the §3.1.2 link-distribution ring: every page is a
+// trigger; the core clique responds within seconds, peripherals sometimes.
+func (g *genState) generateReshare(spec *BotnetSpec) []graph.VertexID {
+	bots := g.internBots(spec.Name, spec.Bots)
+	core := spec.SubsetSize
+	if core <= 0 || core > len(bots) {
+		core = len(bots)
+	}
+	span := g.cfg.End - g.cfg.Start
+	for p := 0; p < spec.Pages; p++ {
+		created := g.cfg.Start + g.rng.Int63n(span)
+		page := g.newPage(created)
+		poster := bots[g.rng.Intn(core)]
+		g.add(poster, page, created)
+		t := created
+		for i := 0; i < core; i++ {
+			if bots[i] == poster {
+				continue
+			}
+			t += g.delay(spec)
+			g.add(bots[i], page, t)
+		}
+		for i := core; i < len(bots); i++ {
+			if g.rng.Float64() < 0.4 {
+				t += g.delay(spec)
+				g.add(bots[i], page, t)
+			}
+		}
+	}
+	return bots
+}
+
+// generateSockpuppets plants staged conversations: for each target page, a
+// random pair (sometimes trio) of puppets exchanges 4–8 alternating
+// replies, one every MinDelay..MaxDelay seconds. SubsetSize bounds the
+// participants per conversation (default 2).
+func (g *genState) generateSockpuppets(spec *BotnetSpec) []graph.VertexID {
+	puppets := g.internBots(spec.Name, spec.Bots)
+	organicPages := g.cfg.Organic.Pages
+	if organicPages > len(g.pageCreated) {
+		organicPages = len(g.pageCreated)
+	}
+	cast := spec.SubsetSize
+	if cast < 2 {
+		cast = 2
+	}
+	if cast > len(puppets) {
+		cast = len(puppets)
+	}
+	for c := 0; c < spec.Pages; c++ {
+		var page graph.VertexID
+		var start int64
+		if organicPages > 0 {
+			page = graph.VertexID(g.rng.Intn(organicPages))
+			start = g.pageCreated[page] + int64(g.rng.ExpFloat64()*g.cfg.Organic.PageHalfLife)
+		} else {
+			span := g.cfg.End - g.cfg.Start
+			start = g.cfg.Start + g.rng.Int63n(span)
+			page = g.newPage(start)
+		}
+		perm := g.rng.Perm(len(puppets))[:cast]
+		t := start
+		exchanges := 4 + g.rng.Intn(5)
+		for e := 0; e < exchanges; e++ {
+			g.add(puppets[perm[e%cast]], page, t)
+			t += g.delay(spec)
+		}
+	}
+	return puppets
+}
+
+// generateCohort plants a benign community (see CohortSpec): shared pages,
+// independent times.
+func (g *genState) generateCohort(spec *CohortSpec) []graph.VertexID {
+	users := g.internBots(spec.Name, spec.Users)
+	part := spec.Participation
+	if part <= 0 || part > 1 {
+		part = 0.9
+	}
+	spread := spec.SpreadSeconds
+	if spread <= 0 {
+		spread = 3 * 24 * 3600
+	}
+	span := g.cfg.End - g.cfg.Start
+	for p := 0; p < spec.Pages; p++ {
+		created := g.cfg.Start + g.rng.Int63n(span)
+		page := g.newPage(created)
+		for _, u := range users {
+			if g.rng.Float64() >= part {
+				continue
+			}
+			g.add(u, page, created+g.rng.Int63n(spread))
+		}
+	}
+	return users
+}
+
+// generateReplyTrigger plants the §3.1.4 responder bots: they answer a
+// trigger comment on random *organic* pages moments after it appears, all
+// of them on the same pages — producing enormous pairwise weights.
+func (g *genState) generateReplyTrigger(spec *BotnetSpec) []graph.VertexID {
+	bots := g.internBots(spec.Name, spec.Bots)
+	organicPages := 0
+	for organicPages < len(g.pageCreated) && organicPages < g.cfg.Organic.Pages {
+		organicPages++
+	}
+	if organicPages == 0 {
+		return bots
+	}
+	for p := 0; p < spec.Pages; p++ {
+		page := graph.VertexID(g.rng.Intn(organicPages))
+		trigger := g.pageCreated[page] + int64(g.rng.ExpFloat64()*g.cfg.Organic.PageHalfLife)
+		t := trigger
+		for _, b := range bots {
+			t += g.delay(spec)
+			g.add(b, page, t)
+		}
+	}
+	return bots
+}

@@ -1,0 +1,224 @@
+package redditgen
+
+import (
+	"testing"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/projection"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Tiny(7))
+	b := Generate(Tiny(7))
+	if len(a.Comments) != len(b.Comments) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Comments), len(b.Comments))
+	}
+	for i := range a.Comments {
+		if a.Comments[i] != b.Comments[i] {
+			t.Fatalf("comment %d differs: %+v vs %+v", i, a.Comments[i], b.Comments[i])
+		}
+	}
+	if a.Authors.Len() != b.Authors.Len() {
+		t.Fatal("author counts differ")
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(Tiny(1))
+	b := Generate(Tiny(2))
+	same := len(a.Comments) == len(b.Comments)
+	if same {
+		identical := true
+		for i := range a.Comments {
+			if a.Comments[i] != b.Comments[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Fatal("different seeds produced identical streams")
+		}
+	}
+}
+
+func TestGroundTruthStructure(t *testing.T) {
+	d := Generate(Tiny(7))
+	if len(d.Truth["ring"]) != 8 {
+		t.Fatalf("ring has %d members, want 8", len(d.Truth["ring"]))
+	}
+	if len(d.Truth["responder"]) != 3 {
+		t.Fatalf("responder has %d members, want 3", len(d.Truth["responder"]))
+	}
+	if len(d.Helpers) != 2 {
+		t.Fatalf("helpers = %d, want 2 (AutoModerator, [deleted])", len(d.Helpers))
+	}
+	if _, ok := d.Authors.Lookup("AutoModerator"); !ok {
+		t.Fatal("AutoModerator not interned")
+	}
+	if _, ok := d.Authors.Lookup("[deleted]"); !ok {
+		t.Fatal("[deleted] not interned")
+	}
+	bots := d.AllBots()
+	if len(bots) != 11 {
+		t.Fatalf("AllBots = %d, want 11", len(bots))
+	}
+	byID := d.BotOf()
+	for id, name := range byID {
+		if !bots[id] || (name != "ring" && name != "responder") {
+			t.Fatalf("BotOf inconsistent: %d → %s", id, name)
+		}
+	}
+}
+
+func TestCommentsSortedAndInRange(t *testing.T) {
+	cfg := Tiny(3)
+	d := Generate(cfg)
+	var prev int64 = -1 << 62
+	for _, c := range d.Comments {
+		if c.TS < prev {
+			t.Fatal("comments not time-sorted")
+		}
+		prev = c.TS
+		if int(c.Author) >= d.Authors.Len() {
+			t.Fatalf("author %d out of range", c.Author)
+		}
+		if int(c.Page) >= d.NumPages {
+			t.Fatalf("page %d out of range", c.Page)
+		}
+	}
+}
+
+func TestAutoModeratorCoversEveryPage(t *testing.T) {
+	d := Generate(Tiny(9))
+	am, _ := d.Authors.Lookup("AutoModerator")
+	covered := make(map[graph.VertexID]bool)
+	for _, c := range d.Comments {
+		if c.Author == am {
+			covered[c.Page] = true
+		}
+	}
+	if len(covered) != d.NumPages {
+		t.Fatalf("AutoModerator covered %d of %d pages", len(covered), d.NumPages)
+	}
+}
+
+func TestReshareRingIsHeavy(t *testing.T) {
+	// The planted reshare core must form a high-min-weight component in a
+	// (0,60s) projection after excluding helpers, while typical organic
+	// pairs stay light.
+	d := Generate(Tiny(11))
+	b := d.BTM()
+	g, err := projection.ProjectSequential(b, projection.Window{Min: 0, Max: 60},
+		projection.Options{Exclude: d.Helpers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := d.Truth["ring"]
+	core := ring[:6]
+	for i := 0; i < len(core); i++ {
+		for j := i + 1; j < len(core); j++ {
+			if w := g.Weight(core[i], core[j]); w < 20 {
+				t.Errorf("core pair (%d,%d) weight %d, want >= 20", core[i], core[j], w)
+			}
+		}
+	}
+}
+
+func TestReplyTriggerDominatesWeights(t *testing.T) {
+	d := Generate(Tiny(13))
+	b := d.BTM()
+	g, err := projection.ProjectSequential(b, projection.Window{Min: 0, Max: 60},
+		projection.Options{Exclude: d.Helpers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := d.Truth["responder"]
+	w01 := g.Weight(resp[0], resp[1])
+	if w01 < 100 {
+		t.Fatalf("responder pair weight = %d, want >= 100", w01)
+	}
+	if mw := g.MaxWeight(); mw != maxPair(g, resp) {
+		t.Logf("note: global max weight %d not from responder pair (%d)", mw, w01)
+	}
+}
+
+func maxPair(g *graph.CIGraph, ids []graph.VertexID) uint32 {
+	var m uint32
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if w := g.Weight(ids[i], ids[j]); w > m {
+				m = w
+			}
+		}
+	}
+	return m
+}
+
+func TestGPT2RingWeightBand(t *testing.T) {
+	// With the Jan2020 ring parameters the intra-ring pair weights must
+	// make a thresholded (>=25) component recoverable.
+	cfg := Config{
+		Seed: 99, Start: 0, End: 31 * 24 * 3600,
+		Botnets: []BotnetSpec{{
+			Kind: GPT2Ring, Name: "gpt2",
+			Bots: 30, Pages: 900, SubsetSize: 10,
+			MinDelay: 0, MaxDelay: 300, SoloPageFraction: 0.35,
+		}},
+	}
+	d := Generate(cfg)
+	b := d.BTM()
+	g, err := projection.ProjectSequential(b, projection.Window{Min: 0, Max: 60}, projection.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := g.Threshold(25)
+	if heavy.NumEdges() == 0 {
+		t.Fatal("no gpt2 edges survive threshold 25")
+	}
+	// All surviving vertices are ring members.
+	members := make(map[graph.VertexID]bool)
+	for _, id := range d.Truth["gpt2"] {
+		members[id] = true
+	}
+	for _, e := range heavy.Edges() {
+		if !members[e.U] || !members[e.V] {
+			t.Fatalf("non-ring vertex in thresholded gpt2 graph: %+v", e)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{Seed: 1, Organic: OrganicConfig{Authors: 10, Pages: 5, Comments: 50}}
+	d := Generate(cfg) // End defaulted to Start+1 month, Zipf defaults applied
+	if len(d.Comments) != 50 {
+		t.Fatalf("comments = %d, want 50", len(d.Comments))
+	}
+}
+
+func TestPresetShapes(t *testing.T) {
+	j := Jan2020(0.05)
+	// 3 narrated networks + 36 minor rings = the paper's 39 components.
+	if j.Organic.Authors != 1000 || len(j.Botnets) != 39 {
+		t.Fatalf("Jan2020(0.05) organic authors = %d, botnets = %d", j.Organic.Authors, len(j.Botnets))
+	}
+	o := Oct2016(0.05)
+	if len(o.Botnets) != 2 {
+		t.Fatalf("Oct2016 botnets = %d", len(o.Botnets))
+	}
+	if j.Seed == o.Seed {
+		t.Fatal("presets share a seed")
+	}
+	if Jan2020(0).Organic.Authors != Jan2020(1).Organic.Authors {
+		t.Fatal("scale 0 must mean scale 1")
+	}
+}
+
+func TestBotnetKindString(t *testing.T) {
+	if GPT2Ring.String() != "gpt2-ring" || ReshareRing.String() != "reshare-ring" ||
+		ReplyTrigger.String() != "reply-trigger" {
+		t.Fatal("kind names wrong")
+	}
+	if BotnetKind(99).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}

@@ -1,0 +1,19 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"coordbot/internal/stats"
+)
+
+func ExamplePearson() {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2.1, 3.9, 6.2, 8.1, 9.8}
+	fmt.Printf("r = %.3f\n", stats.Pearson(xs, ys))
+	// Output: r = 0.999
+}
+
+func ExampleSummarize() {
+	fmt.Println(stats.Summarize([]float64{1, 2, 3, 4}))
+	// Output: n=4 mean=2.5 min=1 p25=1.75 med=2.5 p75=3.25 max=4
+}

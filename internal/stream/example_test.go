@@ -1,0 +1,32 @@
+package stream_test
+
+import (
+	"fmt"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/projection"
+	"coordbot/internal/stream"
+)
+
+// Feeding a time-ordered comment stream through the online projector
+// yields the same CI graph as the batch Algorithm 1, with transient memory
+// bounded by the window.
+func ExampleProjector() {
+	p, err := stream.NewProjector(projection.Window{Min: 0, Max: 60}, projection.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range []graph.Comment{
+		{Author: 0, Page: 0, TS: 0},
+		{Author: 1, Page: 0, TS: 20},
+		{Author: 0, Page: 0, TS: 500}, // outside the window of both
+		{Author: 1, Page: 0, TS: 510},
+	} {
+		if err := p.Add(c); err != nil {
+			panic(err)
+		}
+	}
+	g := p.Result()
+	fmt.Println("w'(0,1) =", g.Weight(0, 1), "(pair counted once per page)")
+	// Output: w'(0,1) = 1 (pair counted once per page)
+}

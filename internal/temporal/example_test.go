@@ -1,0 +1,28 @@
+package temporal_test
+
+import (
+	"fmt"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/temporal"
+)
+
+// Profiling a burst ring: three accounts that pile onto pages seconds
+// apart classify as "burst" once there is enough evidence.
+func ExampleClassifier_Classify() {
+	var comments []graph.Comment
+	for p := graph.VertexID(0); p < 25; p++ {
+		base := int64(p) * 10000
+		comments = append(comments,
+			graph.Comment{Author: 1, Page: p, TS: base},
+			graph.Comment{Author: 2, Page: p, TS: base + 3},
+			graph.Comment{Author: 3, Page: p, TS: base + 6},
+		)
+	}
+	btm := graph.BuildBTM(comments, 0, 0)
+	profile := temporal.ProfileGroup(btm, []graph.VertexID{1, 2, 3})
+	class := temporal.DefaultClassifier().Classify(profile)
+	fmt.Printf("median gap %.0fs over %d pages → %s\n",
+		profile.Summary.Median, profile.Pages, class)
+	// Output: median gap 3s over 25 pages → burst
+}

@@ -1,0 +1,153 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/redditgen"
+)
+
+func TestProfileGroupSimple(t *testing.T) {
+	// Page 0: members 1,2,3 at t=0,10,25 → gaps 10, 15.
+	// Page 1: member 1 and outsider 9 → outsider invisible, no gap.
+	b := graph.BuildBTM([]graph.Comment{
+		{Author: 1, Page: 0, TS: 0},
+		{Author: 2, Page: 0, TS: 10},
+		{Author: 3, Page: 0, TS: 25},
+		{Author: 1, Page: 1, TS: 100},
+		{Author: 9, Page: 1, TS: 105},
+	}, 0, 0)
+	p := ProfileGroup(b, []graph.VertexID{1, 2, 3})
+	if len(p.Delays) != 2 || p.Delays[0] != 10 || p.Delays[1] != 15 {
+		t.Fatalf("delays = %v", p.Delays)
+	}
+	if p.Pages != 1 {
+		t.Fatalf("pages = %d, want 1", p.Pages)
+	}
+}
+
+func TestProfileSkipsSameAuthorRuns(t *testing.T) {
+	// Consecutive comments by the same member are self-interaction, not
+	// coordination; the gap must bridge distinct authors only.
+	b := graph.BuildBTM([]graph.Comment{
+		{Author: 1, Page: 0, TS: 0},
+		{Author: 1, Page: 0, TS: 5},
+		{Author: 2, Page: 0, TS: 20},
+	}, 0, 0)
+	p := ProfileGroup(b, []graph.VertexID{1, 2})
+	if len(p.Delays) != 1 || p.Delays[0] != 15 {
+		t.Fatalf("delays = %v, want [15]", p.Delays)
+	}
+}
+
+func TestClassifierThresholds(t *testing.T) {
+	c := DefaultClassifier()
+	mk := func(med, p25, p75 float64, n int) Profile {
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = med
+		}
+		p := Profile{Delays: d}
+		p.Summary.Median = med
+		p.Summary.P25 = p25
+		p.Summary.P75 = p75
+		p.Summary.N = n
+		return p
+	}
+	if got := c.Classify(mk(3, 1, 5, 100)); got != Burst {
+		t.Fatalf("3s median = %v, want burst", got)
+	}
+	if got := c.Classify(mk(60, 40, 90, 100)); got != Paced {
+		t.Fatalf("60s tight = %v, want paced", got)
+	}
+	if got := c.Classify(mk(60, 5, 500, 100)); got != Scattered {
+		t.Fatalf("60s wide = %v, want scattered", got)
+	}
+	if got := c.Classify(mk(7200, 100, 90000, 100)); got != Scattered {
+		t.Fatalf("2h median = %v, want scattered", got)
+	}
+	if got := c.Classify(mk(3, 1, 5, 5)); got != Unknown {
+		t.Fatalf("5 samples = %v, want unknown", got)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c, want := range map[Class]string{
+		Burst: "burst", Paced: "paced", Scattered: "scattered", Unknown: "unknown",
+	} {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+func TestPlantedNetworksClassify(t *testing.T) {
+	// The planted behaviours must land in their designed classes.
+	cfg := redditgen.Jan2020(0.05)
+	d := redditgen.Generate(cfg)
+	b := d.BTM()
+	c := DefaultClassifier()
+
+	reshare := ProfileGroup(b, d.Truth["mlbstreams"])
+	if got := c.Classify(reshare); got != Burst {
+		t.Fatalf("reshare ring = %v (%s), want burst", got, reshare.Summary)
+	}
+	gpt := ProfileGroup(b, d.Truth["gpt2"])
+	if got := c.Classify(gpt); got == Scattered || got == Unknown {
+		t.Fatalf("gpt2 ring = %v (%s), want burst/paced", got, gpt.Summary)
+	}
+	cohort := ProfileGroup(b, d.Benign["bookclub"])
+	if got := c.Classify(cohort); got != Scattered {
+		t.Fatalf("benign cohort = %v (%s), want scattered", got, cohort.Summary)
+	}
+	if reshare.Summary.Median >= cohort.Summary.Median {
+		t.Fatal("reshare median not below cohort median")
+	}
+}
+
+func TestProfileEmptyGroup(t *testing.T) {
+	b := graph.BuildBTM(nil, 5, 5)
+	p := ProfileGroup(b, []graph.VertexID{1, 2})
+	if len(p.Delays) != 0 || p.Pages != 0 {
+		t.Fatalf("empty profile = %+v", p)
+	}
+	if DefaultClassifier().Classify(p) != Unknown {
+		t.Fatal("empty profile must be unknown")
+	}
+	if p.Report("x", Unknown) == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestQuickProfileInvariants(t *testing.T) {
+	// Delays are nonnegative and sorted; gap count <= member comment
+	// count; pages <= pages any member touched.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cs := make([]graph.Comment, 300)
+		for i := range cs {
+			cs[i] = graph.Comment{
+				Author: graph.VertexID(rng.Intn(10)),
+				Page:   graph.VertexID(rng.Intn(8)),
+				TS:     int64(rng.Intn(10000)),
+			}
+		}
+		b := graph.BuildBTM(cs, 10, 8)
+		members := []graph.VertexID{0, 1, 2, 3}
+		p := ProfileGroup(b, members)
+		for i, d := range p.Delays {
+			if d < 0 {
+				return false
+			}
+			if i > 0 && p.Delays[i-1] > d {
+				return false
+			}
+		}
+		return len(p.Delays) <= 300 && p.Pages <= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+package tripoll_test
+
+import (
+	"fmt"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/tripoll"
+)
+
+// Surveying a weighted triangle: the metadata (edge weights) rides along,
+// and the survey reports the min weight and normalized T score.
+func ExampleSurveySequential() {
+	g := graph.NewCIGraph()
+	g.AddEdgeWeight(1, 2, 30)
+	g.AddEdgeWeight(2, 3, 40)
+	g.AddEdgeWeight(1, 3, 50)
+	for _, v := range []graph.VertexID{1, 2, 3} {
+		g.SetPageCount(v, 50)
+	}
+	tripoll.SurveySequential(g, tripoll.Options{MinTriangleWeight: 25}, func(t tripoll.Triangle) {
+		fmt.Printf("triangle (%d,%d,%d) min=%d T=%.2f\n",
+			t.X, t.Y, t.Z, t.MinWeight(), t.TScore(g.PageCount))
+	})
+	// Output: triangle (1,2,3) min=30 T=0.60
+}

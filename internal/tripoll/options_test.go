@@ -1,0 +1,68 @@
+package tripoll
+
+import (
+	"testing"
+
+	"coordbot/internal/graph"
+)
+
+// MinEdgeWeight prunes edges before enumeration independently of the
+// triangle cutoff: a triangle whose weakest edge is below it disappears
+// even when MinTriangleWeight alone would keep it.
+func TestMinEdgeWeightPrunesBeforeEnumeration(t *testing.T) {
+	g := graph.NewCIGraph()
+	g.AddEdgeWeight(1, 2, 3)
+	g.AddEdgeWeight(2, 3, 9)
+	g.AddEdgeWeight(1, 3, 9)
+	// MinTriangleWeight 2 alone keeps it (min weight 3 >= 2)…
+	if n := Count(g, Options{MinTriangleWeight: 2}); n != 1 {
+		t.Fatalf("baseline count = %d, want 1", n)
+	}
+	// …but MinEdgeWeight 5 removes the weight-3 edge first.
+	if n := Count(g, Options{MinTriangleWeight: 2, MinEdgeWeight: 5}); n != 0 {
+		t.Fatalf("count with edge cut = %d, want 0", n)
+	}
+	// EffectiveEdgeCut is the max of the two knobs (min 1).
+	if c := EffectiveEdgeCut(Options{}); c != 1 {
+		t.Fatalf("default cut = %d, want 1", c)
+	}
+	if c := EffectiveEdgeCut(Options{MinEdgeWeight: 5, MinTriangleWeight: 3}); c != 5 {
+		t.Fatalf("cut = %d, want 5", c)
+	}
+	if c := EffectiveEdgeCut(Options{MinEdgeWeight: 2, MinTriangleWeight: 7}); c != 7 {
+		t.Fatalf("cut = %d, want 7", c)
+	}
+}
+
+// The exported orientation machinery keeps its invariants: out-edges point
+// up the (degree, id) order and closing-weight lookups agree with the map.
+func TestOrientedInvariants(t *testing.T) {
+	g := graph.NewCIGraph()
+	for _, e := range [][3]uint32{{1, 2, 5}, {2, 3, 7}, {1, 3, 9}, {3, 4, 2}, {1, 4, 4}} {
+		g.AddEdgeWeight(graph.VertexID(e[0]), graph.VertexID(e[1]), e[2])
+	}
+	adj := g.BuildAdjacency()
+	o := Orient(adj)
+	total := 0
+	for v := int32(0); v < int32(adj.NumVertices()); v++ {
+		out, wt := o.Out(v)
+		if len(out) != len(wt) {
+			t.Fatal("out/weight length mismatch")
+		}
+		total += len(out)
+		for i, u := range out {
+			if !o.Less(v, u) {
+				t.Fatalf("out-edge %d→%d violates orientation", v, u)
+			}
+			if adj.EdgeWeight(v, u) != wt[i] {
+				t.Fatalf("oriented weight mismatch on %d→%d", v, u)
+			}
+			if cw, ok := o.ClosingWeight(v, u); !ok || cw != wt[i] {
+				t.Fatalf("ClosingWeight(%d,%d) = %d,%v", v, u, cw, ok)
+			}
+		}
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("oriented edges = %d, want %d (each edge once)", total, g.NumEdges())
+	}
+}

@@ -1,0 +1,331 @@
+// Package tripoll reimplements the triangle-survey functionality the paper
+// takes from LLNL's TriPoll (Steil et al., SC'21): enumerate all triangles
+// of a large weighted graph, carry per-edge metadata (here: CI edge
+// weights) through the enumeration, and run a user survey over each
+// triangle — typically thresholding on minimum edge weight and computing
+// the normalized coordination score T(x,y,z) (equation 7).
+//
+// The algorithm is TriPoll's degree-ordered directed wedge check: orient
+// every edge from the endpoint with lower (degree, id) to the higher, form
+// wedges at each vertex's out-neighborhood, and query the closing edge.
+// Orientation bounds out-degrees by the graph arboricity, keeping the wedge
+// count near-optimal even on skewed social graphs.
+package tripoll
+
+import (
+	"sort"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/ygm"
+)
+
+// Triangle is a surveyed triangle in original author IDs, X < Y < Z, with
+// the three CI edge weights as metadata.
+type Triangle struct {
+	X, Y, Z       graph.VertexID
+	WXY, WXZ, WYZ uint32
+}
+
+// MinWeight returns min(w'_xy, w'_xz, w'_yz) — the paper's triangle pruning
+// statistic (§2.3).
+func (t Triangle) MinWeight() uint32 {
+	m := t.WXY
+	if t.WXZ < m {
+		m = t.WXZ
+	}
+	if t.WYZ < m {
+		m = t.WYZ
+	}
+	return m
+}
+
+// TScore computes T(x,y,z) = 3·min(w')/(P'_x+P'_y+P'_z) (equation 7) using
+// the projection's page-count table. It returns 0 when the denominator is 0.
+func (t Triangle) TScore(pageCount func(graph.VertexID) uint32) float64 {
+	den := float64(pageCount(t.X)) + float64(pageCount(t.Y)) + float64(pageCount(t.Z))
+	if den == 0 {
+		return 0
+	}
+	return 3 * float64(t.MinWeight()) / den
+}
+
+// Options configures a survey.
+type Options struct {
+	// MinEdgeWeight drops CI edges below this weight before enumeration
+	// (the paper's edge-weight threshold; e.g. 5 for the October 2016
+	// one-hour projection).
+	MinEdgeWeight uint32
+	// MinTriangleWeight keeps only triangles whose minimum edge weight
+	// is at least this (the paper's cutoffs of 10 and 25). Because a
+	// triangle's min weight ≥ τ implies all edges ≥ τ, the survey also
+	// prunes edges below it up front.
+	MinTriangleWeight uint32
+	// MinTScore keeps only triangles with T(x,y,z) >= this. Requires
+	// page counts on the surveyed graph; 0 disables.
+	MinTScore float64
+	// Ranks is the parallelism for Survey; 0 means ygm.DefaultRanks().
+	Ranks int
+}
+
+func (o Options) effectiveEdgeCut() uint32 {
+	cut := o.MinEdgeWeight
+	if o.MinTriangleWeight > cut {
+		cut = o.MinTriangleWeight
+	}
+	if cut < 1 {
+		cut = 1
+	}
+	return cut
+}
+
+// Oriented holds the degree-ordered directed view of an adjacency: every
+// edge points from the endpoint with lower (degree, id) to the higher.
+// Exported so network-transport surveys (internal/ygmnet) can reuse the
+// exact orientation and closing-edge lookup.
+type Oriented struct {
+	adj *graph.Adjacency
+	// out[v]: out-neighbors of dense vertex v (order(v) < order(u)),
+	// ascending by dense id, with parallel weights.
+	out [][]int32
+	wt  [][]uint32
+}
+
+// Less is the DODGR total order: by degree, ties by dense id.
+func (o *Oriented) Less(a, b int32) bool {
+	da, db := o.adj.Degree(a), o.adj.Degree(b)
+	if da != db {
+		return da < db
+	}
+	return a < b
+}
+
+// Orient builds the degree-ordered directed view of adj.
+func Orient(adj *graph.Adjacency) *Oriented {
+	n := adj.NumVertices()
+	o := &Oriented{adj: adj, out: make([][]int32, n), wt: make([][]uint32, n)}
+	for v := int32(0); v < int32(n); v++ {
+		nbr := adj.Neighbors(v)
+		wts := adj.Weights(v)
+		for i, u := range nbr {
+			if o.Less(v, u) {
+				o.out[v] = append(o.out[v], u)
+				o.wt[v] = append(o.wt[v], wts[i])
+			}
+		}
+		// adjacency neighbor lists are already ascending, preserved here.
+	}
+	return o
+}
+
+// ClosingWeight returns the weight of the edge between u and w (both
+// higher-order than some pivot), searching the out-list of the lower-order
+// endpoint. Returns (0, false) if absent.
+func (o *Oriented) ClosingWeight(u, w int32) (uint32, bool) {
+	lo, hi := u, w
+	if o.Less(w, u) {
+		lo, hi = w, u
+	}
+	out := o.out[lo]
+	k := sort.Search(len(out), func(i int) bool { return out[i] >= hi })
+	if k < len(out) && out[k] == hi {
+		return o.wt[lo][k], true
+	}
+	return 0, false
+}
+
+// Assemble builds the canonical Triangle (orig IDs sorted, weights mapped)
+// from dense vertices a,b,c and the weights of edges ab, ac, bc.
+func Assemble(adj *graph.Adjacency, a, b, c int32, wab, wac, wbc uint32) Triangle {
+	type vw struct {
+		orig graph.VertexID
+		d    int32
+	}
+	vs := [3]vw{{adj.Orig[a], a}, {adj.Orig[b], b}, {adj.Orig[c], c}}
+	ws := map[[2]int32]uint32{
+		{a, b}: wab, {b, a}: wab,
+		{a, c}: wac, {c, a}: wac,
+		{b, c}: wbc, {c, b}: wbc,
+	}
+	sort.Slice(vs[:], func(i, j int) bool { return vs[i].orig < vs[j].orig })
+	return Triangle{
+		X: vs[0].orig, Y: vs[1].orig, Z: vs[2].orig,
+		WXY: ws[[2]int32{vs[0].d, vs[1].d}],
+		WXZ: ws[[2]int32{vs[0].d, vs[2].d}],
+		WYZ: ws[[2]int32{vs[1].d, vs[2].d}],
+	}
+}
+
+// Out returns dense vertex v's out-neighbors and parallel weights
+// (aliasing internal storage).
+func (o *Oriented) Out(v int32) ([]int32, []uint32) { return o.out[v], o.wt[v] }
+
+// EffectiveEdgeCut exposes the edge pruning threshold the survey applies
+// up front for the given options.
+func EffectiveEdgeCut(opts Options) uint32 { return opts.effectiveEdgeCut() }
+
+// SurveySequential enumerates triangles single-threaded, invoking visit for
+// each triangle that passes the thresholds. The reference implementation.
+func SurveySequential(g *graph.CIGraph, opts Options, visit func(Triangle)) {
+	pruned := g.Threshold(opts.effectiveEdgeCut())
+	adj := pruned.BuildAdjacency()
+	o := Orient(adj)
+	survey := func(tr Triangle) {
+		if tr.MinWeight() < opts.MinTriangleWeight {
+			return
+		}
+		if opts.MinTScore > 0 && tr.TScore(g.PageCount) < opts.MinTScore {
+			return
+		}
+		visit(tr)
+	}
+	for v := int32(0); v < int32(adj.NumVertices()); v++ {
+		out := o.out[v]
+		for i := 0; i < len(out); i++ {
+			for j := i + 1; j < len(out); j++ {
+				if w, ok := o.ClosingWeight(out[i], out[j]); ok {
+					survey(Assemble(adj, v, out[i], out[j], o.wt[v][i], o.wt[v][j], w))
+				}
+			}
+		}
+	}
+}
+
+// Survey enumerates triangles on a ygm communicator, mirroring TriPoll's
+// structure: pivots are dealt to ranks; each wedge (v; u, w) is shipped to
+// the owner of the closing edge's lower-order endpoint, which checks
+// closure and appends surviving triangles to a distributed bag.
+func Survey(g *graph.CIGraph, opts Options) []Triangle {
+	pruned := g.Threshold(opts.effectiveEdgeCut())
+	adj := pruned.BuildAdjacency()
+	o := Orient(adj)
+	n := adj.NumVertices()
+
+	nr := opts.Ranks
+	if nr == 0 {
+		nr = ygm.DefaultRanks()
+	}
+	comm := ygm.NewComm(nr)
+	defer comm.Close()
+	bag := ygm.NewBag[Triangle](comm)
+
+	owner := func(v int32) int { return int(ygm.HashU32(uint32(v)) % uint64(nr)) }
+	pageCount := g.PageCount
+
+	comm.Run(func(r *ygm.Rank) {
+		for v := int32(r.ID()); v < int32(n); v += int32(r.NRanks()) {
+			out := o.out[v]
+			for i := 0; i < len(out); i++ {
+				for j := i + 1; j < len(out); j++ {
+					pivot, u, w := v, out[i], out[j]
+					wu, ww := o.wt[v][i], o.wt[v][j]
+					lo := u
+					if o.Less(w, u) {
+						lo = w
+					}
+					r.Local(owner(lo), func(rr *ygm.Rank) {
+						cw, ok := o.ClosingWeight(u, w)
+						if !ok {
+							return
+						}
+						tr := Assemble(adj, pivot, u, w, wu, ww, cw)
+						if tr.MinWeight() < opts.MinTriangleWeight {
+							return
+						}
+						if opts.MinTScore > 0 && tr.TScore(pageCount) < opts.MinTScore {
+							return
+						}
+						bag.AsyncInsert(rr, tr)
+					})
+				}
+			}
+		}
+		r.Barrier()
+	})
+
+	out := bag.Gather()
+	SortTriangles(out)
+	return out
+}
+
+// SortTriangles orders triangles by (X, Y, Z) for deterministic output.
+func SortTriangles(ts []Triangle) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].X != ts[j].X {
+			return ts[i].X < ts[j].X
+		}
+		if ts[i].Y != ts[j].Y {
+			return ts[i].Y < ts[j].Y
+		}
+		return ts[i].Z < ts[j].Z
+	})
+}
+
+// Count returns the number of triangles passing the thresholds without
+// materializing them.
+func Count(g *graph.CIGraph, opts Options) int64 {
+	var n int64
+	SurveySequential(g, opts, func(Triangle) { n++ })
+	return n
+}
+
+// TopKByMinWeight returns the k triangles with the largest minimum edge
+// weight (ties by vertex ids for determinism), the paper's "find the
+// triangles with the highest minimum edge weights" query.
+func TopKByMinWeight(ts []Triangle, k int) []Triangle {
+	out := make([]Triangle, len(ts))
+	copy(out, ts)
+	sort.Slice(out, func(i, j int) bool {
+		wi, wj := out[i].MinWeight(), out[j].MinWeight()
+		if wi != wj {
+			return wi > wj
+		}
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		if out[i].Y != out[j].Y {
+			return out[i].Y < out[j].Y
+		}
+		return out[i].Z < out[j].Z
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// CountNaive counts triangles by testing all vertex triples — O(n³),
+// test oracle only.
+func CountNaive(g *graph.CIGraph, minTriangleWeight uint32) int64 {
+	adj := g.BuildAdjacency()
+	n := adj.NumVertices()
+	var count int64
+	for a := int32(0); a < int32(n); a++ {
+		for b := a + 1; b < int32(n); b++ {
+			wab := adj.EdgeWeight(a, b)
+			if wab == 0 {
+				continue
+			}
+			for c := b + 1; c < int32(n); c++ {
+				wac := adj.EdgeWeight(a, c)
+				if wac == 0 {
+					continue
+				}
+				wbc := adj.EdgeWeight(b, c)
+				if wbc == 0 {
+					continue
+				}
+				m := wab
+				if wac < m {
+					m = wac
+				}
+				if wbc < m {
+					m = wbc
+				}
+				if m >= minTriangleWeight {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}

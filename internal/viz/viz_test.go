@@ -1,0 +1,92 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"coordbot/internal/graph"
+)
+
+func testComponent() *graph.Component {
+	return &graph.Component{
+		Authors: []graph.VertexID{1, 2, 3},
+		Edges: []graph.WeightedEdge{
+			{U: 1, V: 2, W: 25},
+			{U: 2, V: 3, W: 33},
+			{U: 1, V: 3, W: 28},
+		},
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var buf bytes.Buffer
+	names := func(v graph.VertexID) string { return map[graph.VertexID]string{1: "a", 2: "b", 3: "c"}[v] }
+	if err := WriteDOT(&buf, testComponent(), "gpt2 \"ring\"", names); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"a" -- "b" [label=25`, `"b" -- "c" [label=33`, "graph "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `""ring""`) {
+		t.Fatal("title not sanitized")
+	}
+}
+
+func TestWriteDOTNilNames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, testComponent(), "t", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"u1"`) {
+		t.Fatal("numeric fallback names missing")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := Describe(testComponent(), nil)
+	for _, want := range []string{"3 authors", "3 edges", "[25..33]", "max clique 3"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("describe missing %q: %s", want, d)
+		}
+	}
+}
+
+func TestWriteGraphML(t *testing.T) {
+	var buf bytes.Buffer
+	names := func(v graph.VertexID) string {
+		return map[graph.VertexID]string{1: `a<&>"x`, 2: "b", 3: "c"}[v]
+	}
+	if err := WriteGraphML(&buf, testComponent(), names); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<graphml", `<node id="a&lt;&amp;&gt;&quot;x"/>`,
+		`<data key="w">25</data>`, "</graphml>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("GraphML missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "<edge ") != 3 {
+		t.Fatalf("edge count wrong:\n%s", out)
+	}
+}
+
+func TestWriteEdgeList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, testComponent(), nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("edge list lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "u2\tu3\t33") {
+		t.Fatalf("not weight-descending: %q", lines[0])
+	}
+}

@@ -1,0 +1,79 @@
+package ygm
+
+import "sync"
+
+// Bag is an unordered distributed collection (ygm::container::bag): items
+// land on whichever rank they were sent to, with a round-robin default.
+// It is the standard output container for surveys — TriPoll appends each
+// surviving triangle to a bag.
+type Bag[T any] struct {
+	comm   *Comm
+	shards []bagShard[T]
+	next   []int // per-rank round-robin cursor (indexed by sender rank)
+}
+
+type bagShard[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// NewBag creates a Bag across c's ranks.
+func NewBag[T any](c *Comm) *Bag[T] {
+	return &Bag[T]{comm: c, shards: make([]bagShard[T], c.n), next: make([]int, c.n)}
+}
+
+// AsyncInsert appends v to the sender's local shard. Local insertion is the
+// cheapest placement and matches ygm bag semantics (placement unspecified).
+func (b *Bag[T]) AsyncInsert(r *Rank, v T) {
+	s := &b.shards[r.ID()]
+	s.mu.Lock()
+	s.items = append(s.items, v)
+	s.mu.Unlock()
+}
+
+// AsyncInsertAt appends v on a specific rank.
+func (b *Bag[T]) AsyncInsertAt(r *Rank, dest int, v T) {
+	r.Local(dest, func(*Rank) {
+		s := &b.shards[dest]
+		s.mu.Lock()
+		s.items = append(s.items, v)
+		s.mu.Unlock()
+	})
+}
+
+// Size returns the global item count. Call at quiescence.
+func (b *Bag[T]) Size() int {
+	total := 0
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		total += len(s.items)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Gather concatenates all shards. Call at quiescence.
+func (b *Bag[T]) Gather() []T {
+	out := make([]T, 0, b.Size())
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		out = append(out, s.items...)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ForAllLocal iterates rank r's shard.
+func (b *Bag[T]) ForAllLocal(r *Rank, fn func(v T)) {
+	s := &b.shards[r.ID()]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range s.items {
+		fn(v)
+	}
+}
+
+// LocalItems exposes rank r's shard for read-only phases after a Barrier.
+func (b *Bag[T]) LocalItems(r *Rank) []T { return b.shards[r.ID()].items }

@@ -1,0 +1,226 @@
+// Package ygm is an in-process reimplementation of the communication model
+// of LLNL's YGM library ("Yet another Graph Machine"), the substrate the
+// paper uses for every distributed step. A Comm owns a fixed set of ranks;
+// user code runs SPMD-style, one goroutine per rank, and communicates only
+// through asynchronous one-sided messages (closures) delivered to a
+// destination rank's mailbox and executed by that rank's consumer. A
+// Barrier completes only at global quiescence: every rank has arrived and
+// every message sent — including messages sent by message handlers,
+// transitively — has been processed.
+//
+// On top of the Comm sit partitioned containers (Map, Set, Counter, Bag,
+// MultiMap) that hash-partition keys across ranks, mirroring YGM's
+// ygm::container family used by the paper's projection and TriPoll steps.
+package ygm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler is a message: a closure executed on the destination rank by that
+// rank's consumer goroutine. Handlers may send further messages via r.Async.
+type Handler func(r *Rank)
+
+// Comm is a communicator over a fixed number of ranks.
+type Comm struct {
+	n         int
+	ranks     []*Rank
+	mailboxes []*mailbox
+
+	// inflight counts messages sent but not yet fully processed. A
+	// handler's own sends increment the counter before its completion
+	// decrements it, so inflight can only reach zero at true quiescence.
+	inflight atomic.Int64
+
+	// sent counts total messages for stats.
+	sent atomic.Int64
+
+	barMu    sync.Mutex
+	barCond  *sync.Cond
+	atBar    int
+	barEpoch uint64
+
+	wg      sync.WaitGroup
+	started bool
+}
+
+// Rank is the per-rank execution context passed to SPMD bodies and handlers.
+type Rank struct {
+	comm *Comm
+	id   int
+}
+
+// ID returns this rank's index in [0, NRanks).
+func (r *Rank) ID() int { return r.id }
+
+// NRanks returns the communicator size.
+func (r *Rank) NRanks() int { return r.comm.n }
+
+// Comm returns the owning communicator.
+func (r *Rank) Comm() *Comm { return r.comm }
+
+// DefaultRanks is the rank count used when 0 is requested: one per CPU,
+// at least 2 so cross-rank paths are always exercised.
+func DefaultRanks() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// NewComm creates a communicator with n ranks (0 means DefaultRanks()).
+// Consumers start immediately; user SPMD bodies run via Run.
+func NewComm(n int) *Comm {
+	if n == 0 {
+		n = DefaultRanks()
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("ygm: invalid rank count %d", n))
+	}
+	c := &Comm{n: n}
+	c.barCond = sync.NewCond(&c.barMu)
+	c.ranks = make([]*Rank, n)
+	c.mailboxes = make([]*mailbox, n)
+	for i := 0; i < n; i++ {
+		c.ranks[i] = &Rank{comm: c, id: i}
+		c.mailboxes[i] = newMailbox()
+	}
+	for i := 0; i < n; i++ {
+		c.wg.Add(1)
+		go c.consume(i)
+	}
+	return c
+}
+
+// NRanks returns the communicator size.
+func (c *Comm) NRanks() int { return c.n }
+
+// MessagesSent returns the total number of async messages sent so far.
+func (c *Comm) MessagesSent() int64 { return c.sent.Load() }
+
+// consume is the per-rank message loop.
+func (c *Comm) consume(rank int) {
+	defer c.wg.Done()
+	r := c.ranks[rank]
+	mb := c.mailboxes[rank]
+	for {
+		h, ok := mb.pop()
+		if !ok {
+			return
+		}
+		h(r)
+		if c.inflight.Add(-1) == 0 {
+			c.maybeRelease()
+		}
+	}
+}
+
+// maybeRelease wakes barrier waiters if global quiescence holds.
+func (c *Comm) maybeRelease() {
+	c.barMu.Lock()
+	if c.atBar == c.n && c.inflight.Load() == 0 {
+		c.barEpoch++
+		c.atBar = 0
+		c.barCond.Broadcast()
+	}
+	c.barMu.Unlock()
+}
+
+// Async sends h for execution on rank dest. Callable from SPMD bodies and
+// from handlers. It never blocks.
+func (r *Rank) Async(dest int, h Handler) {
+	c := r.comm
+	if dest < 0 || dest >= c.n {
+		panic(fmt.Sprintf("ygm: async to invalid rank %d of %d", dest, c.n))
+	}
+	c.inflight.Add(1)
+	c.sent.Add(1)
+	c.mailboxes[dest].push(h)
+}
+
+// Local runs h immediately on this rank if dest == r.ID(), otherwise sends
+// it. Use for owner-computes patterns where the caller often owns the key.
+func (r *Rank) Local(dest int, h Handler) {
+	if dest == r.id {
+		// Count it as a message so quiescence accounting stays uniform.
+		c := r.comm
+		c.inflight.Add(1)
+		c.sent.Add(1)
+		h(r)
+		if c.inflight.Add(-1) == 0 {
+			c.maybeRelease()
+		}
+		return
+	}
+	r.Async(dest, h)
+}
+
+// Barrier blocks until every rank has called Barrier for this epoch and all
+// messages (transitively) have been processed. It is the only legal
+// synchronization point between communication phases, as in YGM.
+func (r *Rank) Barrier() {
+	c := r.comm
+	c.barMu.Lock()
+	epoch := c.barEpoch
+	c.atBar++
+	if c.atBar == c.n && c.inflight.Load() == 0 {
+		c.barEpoch++
+		c.atBar = 0
+		c.barCond.Broadcast()
+		c.barMu.Unlock()
+		return
+	}
+	for c.barEpoch == epoch {
+		c.barCond.Wait()
+	}
+	c.barMu.Unlock()
+}
+
+// Run executes body SPMD-style on every rank and returns when all bodies
+// have returned. Bodies typically end with a Barrier to drain in-flight
+// messages; Run also performs a final drain before returning so that all
+// side effects are visible to the caller.
+func (c *Comm) Run(body func(r *Rank)) {
+	var wg sync.WaitGroup
+	for i := 0; i < c.n; i++ {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			body(r)
+		}(c.ranks[i])
+	}
+	wg.Wait()
+	c.drain()
+}
+
+// drain waits for in-flight messages to finish without requiring ranks at a
+// barrier. Used by Run's epilogue so callers observe quiescent state.
+func (c *Comm) drain() {
+	c.barMu.Lock()
+	for c.inflight.Load() != 0 {
+		// Handlers signal via maybeRelease only when atBar==n, so poll
+		// with a condvar timeout substitute: release the lock briefly.
+		c.barMu.Unlock()
+		runtime.Gosched()
+		c.barMu.Lock()
+	}
+	c.barMu.Unlock()
+}
+
+// Close shuts down the consumer goroutines after draining all in-flight
+// messages. The Comm must not be used afterwards.
+func (c *Comm) Close() {
+	c.drain()
+	for _, mb := range c.mailboxes {
+		mb.close()
+	}
+	c.wg.Wait()
+}
+
+// Rank0 returns the context for rank 0, for one-off container setup or
+// sequential sections outside Run.
+func (c *Comm) Rank0() *Rank { return c.ranks[0] }

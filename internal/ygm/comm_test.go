@@ -1,0 +1,149 @@
+package ygm
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommBasicAsync(t *testing.T) {
+	c := NewComm(4)
+	defer c.Close()
+	var hits atomic.Int64
+	c.Run(func(r *Rank) {
+		for d := 0; d < r.NRanks(); d++ {
+			r.Async(d, func(*Rank) { hits.Add(1) })
+		}
+		r.Barrier()
+	})
+	if got := hits.Load(); got != 16 {
+		t.Fatalf("hits = %d, want 16", got)
+	}
+}
+
+func TestBarrierDrainsCascades(t *testing.T) {
+	// Each message spawns children until depth 0; barrier must wait for
+	// the whole cascade, not just the first generation.
+	c := NewComm(3)
+	defer c.Close()
+	var leaves atomic.Int64
+	var cascade func(r *Rank, depth int)
+	cascade = func(r *Rank, depth int) {
+		if depth == 0 {
+			leaves.Add(1)
+			return
+		}
+		for d := 0; d < r.NRanks(); d++ {
+			dd := d
+			r.Async(dd, func(rr *Rank) { cascade(rr, depth-1) })
+		}
+	}
+	var after atomic.Int64
+	c.Run(func(r *Rank) {
+		cascade(r, 4) // 3 ranks * 3^4 leaves each
+		r.Barrier()
+		after.Store(leaves.Load())
+	})
+	want := int64(3 * 81)
+	if got := leaves.Load(); got != want {
+		t.Fatalf("leaves = %d, want %d", got, want)
+	}
+	if got := after.Load(); got != want {
+		t.Fatalf("barrier returned before cascade finished: saw %d of %d", after.Load(), want)
+	}
+}
+
+func TestMultipleBarrierEpochs(t *testing.T) {
+	c := NewComm(4)
+	defer c.Close()
+	var sum atomic.Int64
+	c.Run(func(r *Rank) {
+		for round := 0; round < 10; round++ {
+			r.Async((r.ID()+1)%r.NRanks(), func(*Rank) { sum.Add(1) })
+			r.Barrier()
+			// Exactly 4 more increments must be visible. A second
+			// barrier separates this read from the next round's
+			// sends (no rank sends between the two barriers).
+			if got := sum.Load(); got != int64(4*(round+1)) {
+				t.Errorf("round %d: sum = %d, want %d", round, got, 4*(round+1))
+			}
+			r.Barrier()
+		}
+	})
+}
+
+func TestLocalFastPath(t *testing.T) {
+	c := NewComm(2)
+	defer c.Close()
+	var n atomic.Int64
+	c.Run(func(r *Rank) {
+		r.Local(r.ID(), func(*Rank) { n.Add(1) })
+		r.Local((r.ID()+1)%2, func(*Rank) { n.Add(1) })
+		r.Barrier()
+	})
+	if got := n.Load(); got != 4 {
+		t.Fatalf("n = %d, want 4", got)
+	}
+}
+
+func TestMessagesSentAccounting(t *testing.T) {
+	c := NewComm(2)
+	defer c.Close()
+	c.Run(func(r *Rank) {
+		for i := 0; i < 5; i++ {
+			r.Async(0, func(*Rank) {})
+		}
+		r.Barrier()
+	})
+	if got := c.MessagesSent(); got != 10 {
+		t.Fatalf("MessagesSent = %d, want 10", got)
+	}
+}
+
+func TestDefaultRanksAtLeastTwo(t *testing.T) {
+	if n := DefaultRanks(); n < 2 {
+		t.Fatalf("DefaultRanks() = %d, want >= 2", n)
+	}
+	c := NewComm(0)
+	defer c.Close()
+	if c.NRanks() < 2 {
+		t.Fatalf("NewComm(0) has %d ranks", c.NRanks())
+	}
+}
+
+func TestInvalidRankPanics(t *testing.T) {
+	c := NewComm(2)
+	defer c.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid dest rank")
+		}
+	}()
+	c.Rank0().Async(5, func(*Rank) {})
+}
+
+func TestQuickBarrierQuiescence(t *testing.T) {
+	// Property: for any fan-out pattern, the count observed right after a
+	// barrier equals the number of messages sent before it.
+	f := func(fan uint8, ranks uint8) bool {
+		nr := int(ranks%4) + 2
+		nf := int(fan % 32)
+		c := NewComm(nr)
+		defer c.Close()
+		var hits atomic.Int64
+		ok := true
+		c.Run(func(r *Rank) {
+			for i := 0; i < nf; i++ {
+				r.Async((r.ID()+i)%nr, func(*Rank) { hits.Add(1) })
+			}
+			r.Barrier()
+			if hits.Load() != int64(nf*nr) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

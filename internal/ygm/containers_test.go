@@ -1,0 +1,264 @@
+package ygm
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapInsertGather(t *testing.T) {
+	c := NewComm(4)
+	defer c.Close()
+	m := NewMap[uint32, string](c, HashU32)
+	c.Run(func(r *Rank) {
+		for i := 0; i < 100; i++ {
+			if i%r.NRanks() == r.ID() {
+				m.AsyncInsert(r, uint32(i), "v")
+			}
+		}
+		r.Barrier()
+	})
+	if got := m.Size(); got != 100 {
+		t.Fatalf("size = %d, want 100", got)
+	}
+}
+
+func TestMapReduceSumsAcrossRanks(t *testing.T) {
+	c := NewComm(4)
+	defer c.Close()
+	m := NewMap[uint32, int64](c, HashU32)
+	add := func(a, b int64) int64 { return a + b }
+	c.Run(func(r *Rank) {
+		// Every rank adds 1 to every key — final value must be nranks.
+		for k := uint32(0); k < 50; k++ {
+			m.AsyncReduce(r, k, 1, add)
+		}
+		r.Barrier()
+	})
+	for k, v := range m.Gather() {
+		if v != 4 {
+			t.Fatalf("key %d = %d, want 4", k, v)
+		}
+	}
+}
+
+func TestMapVisitMissingKey(t *testing.T) {
+	c := NewComm(2)
+	defer c.Close()
+	m := NewMap[uint32, int](c, HashU32)
+	c.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			m.AsyncVisit(r, 7, func(k uint32, v int, ok bool) (int, bool) {
+				if ok {
+					t.Errorf("key 7 should not exist")
+				}
+				return 0, false // do not store
+			})
+			m.AsyncVisit(r, 8, func(k uint32, v int, ok bool) (int, bool) {
+				return 42, true
+			})
+		}
+		r.Barrier()
+	})
+	g := m.Gather()
+	if _, ok := g[7]; ok {
+		t.Error("visit with store=false created key 7")
+	}
+	if g[8] != 42 {
+		t.Errorf("key 8 = %d, want 42", g[8])
+	}
+}
+
+func TestMapFetchRoundTrip(t *testing.T) {
+	c := NewComm(3)
+	defer c.Close()
+	m := NewMap[uint32, int](c, HashU32)
+	got := make([]int, 3)
+	c.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			m.AsyncInsert(r, 5, 99)
+		}
+		r.Barrier()
+		id := r.ID()
+		m.AsyncFetch(r, 5, func(_ uint32, v int, ok bool) {
+			if !ok {
+				t.Errorf("rank %d: key 5 missing", id)
+			}
+			got[id] = v
+		})
+		r.Barrier()
+	})
+	for i, v := range got {
+		if v != 99 {
+			t.Fatalf("rank %d fetched %d, want 99", i, v)
+		}
+	}
+}
+
+func TestCounterTotalEqualsIncrements(t *testing.T) {
+	c := NewComm(4)
+	defer c.Close()
+	cnt := NewCounter[uint64](c, HashU64)
+	const perRank = 500
+	c.Run(func(r *Rank) {
+		for i := 0; i < perRank; i++ {
+			cnt.AsyncIncrement(r, uint64(i%37))
+		}
+		r.Barrier()
+	})
+	if got := cnt.Total(); got != int64(4*perRank) {
+		t.Fatalf("total = %d, want %d", got, 4*perRank)
+	}
+	if got := cnt.Size(); got != 37 {
+		t.Fatalf("distinct keys = %d, want 37", got)
+	}
+}
+
+func TestSetDeduplicates(t *testing.T) {
+	c := NewComm(4)
+	defer c.Close()
+	s := NewSet[uint32](c, HashU32)
+	c.Run(func(r *Rank) {
+		for i := 0; i < 100; i++ {
+			s.AsyncInsert(r, uint32(i%10))
+		}
+		r.Barrier()
+	})
+	if got := s.Size(); got != 10 {
+		t.Fatalf("size = %d, want 10", got)
+	}
+	members := s.Gather()
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	for i, v := range members {
+		if v != uint32(i) {
+			t.Fatalf("members[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestBagGatherAllInserts(t *testing.T) {
+	c := NewComm(4)
+	defer c.Close()
+	b := NewBag[int](c)
+	c.Run(func(r *Rank) {
+		for i := 0; i < 25; i++ {
+			b.AsyncInsert(r, r.ID()*1000+i)
+		}
+		b.AsyncInsertAt(r, (r.ID()+1)%r.NRanks(), -r.ID())
+		r.Barrier()
+	})
+	if got := b.Size(); got != 4*25+4 {
+		t.Fatalf("size = %d, want %d", got, 4*25+4)
+	}
+	if got := len(b.Gather()); got != 4*25+4 {
+		t.Fatalf("gather len = %d", got)
+	}
+}
+
+func TestMultiMapAppendAndCounts(t *testing.T) {
+	c := NewComm(4)
+	defer c.Close()
+	mm := NewMultiMap[uint32, int64](c, HashU32)
+	c.Run(func(r *Rank) {
+		for i := 0; i < 30; i++ {
+			mm.AsyncAppend(r, uint32(i%5), int64(r.ID()))
+		}
+		r.Barrier()
+	})
+	if got := mm.KeyCount(); got != 5 {
+		t.Fatalf("keys = %d, want 5", got)
+	}
+	if got := mm.ValueCount(); got != 4*30 {
+		t.Fatalf("values = %d, want %d", got, 4*30)
+	}
+	for k, vs := range mm.Gather() {
+		if len(vs) != 24 {
+			t.Fatalf("key %d has %d values, want 24", k, len(vs))
+		}
+	}
+}
+
+func TestMultiMapVisitSorts(t *testing.T) {
+	c := NewComm(2)
+	defer c.Close()
+	mm := NewMultiMap[uint32, int64](c, HashU32)
+	c.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			for _, v := range []int64{5, 1, 4, 2, 3} {
+				mm.AsyncAppend(r, 1, v)
+			}
+		}
+		r.Barrier()
+		if r.ID() == 0 {
+			mm.AsyncVisit(r, 1, func(_ uint32, vs []int64) []int64 {
+				sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+				return vs
+			})
+		}
+		r.Barrier()
+	})
+	vs := mm.Gather()[1]
+	for i := 1; i < len(vs); i++ {
+		if vs[i-1] > vs[i] {
+			t.Fatalf("not sorted: %v", vs)
+		}
+	}
+}
+
+func TestQuickCounterMatchesSequential(t *testing.T) {
+	// Property: distributing arbitrary increment streams across ranks
+	// yields exactly the sequential histogram.
+	f := func(keys []uint8) bool {
+		c := NewComm(3)
+		defer c.Close()
+		cnt := NewCounter[uint64](c, HashU64)
+		want := make(map[uint64]int64)
+		for _, k := range keys {
+			want[uint64(k)]++
+		}
+		c.Run(func(r *Rank) {
+			for i, k := range keys {
+				if i%r.NRanks() == r.ID() {
+					cnt.AsyncIncrement(r, uint64(k))
+				}
+			}
+			r.Barrier()
+		})
+		got := cnt.Gather()
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashDistribution(t *testing.T) {
+	// Dense uint32 keys must spread across ranks reasonably evenly.
+	const n, ranks = 100000, 8
+	counts := make([]int, ranks)
+	for i := uint32(0); i < n; i++ {
+		counts[HashU32(i)%ranks]++
+	}
+	for r, ct := range counts {
+		if ct < n/ranks*8/10 || ct > n/ranks*12/10 {
+			t.Fatalf("rank %d has %d of %d keys (poor spread)", r, ct, n)
+		}
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	if HashString("AutoModerator") != HashString("AutoModerator") {
+		t.Fatal("HashString not deterministic")
+	}
+	if HashString("a") == HashString("b") {
+		t.Fatal("trivial collision")
+	}
+}

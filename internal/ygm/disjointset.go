@@ -1,0 +1,162 @@
+package ygm
+
+import "sync"
+
+// DisjointSet is a hash-partitioned union-find in the style of
+// ygm::container::disjoint_set: items live on owner ranks, unions are
+// asynchronous messages that chase roots across ranks, and the structure
+// resolves at the next barrier. The paper's connected-component extraction
+// over billion-edge thresholded projections runs on exactly this container.
+//
+// The linking protocol maintains the invariant parent[v] strictly precedes
+// v in a fixed total order (the key hash, ties by key order via less), so
+// the parent forest is acyclic by construction and every union chain
+// terminates: each hop either reaches a root or strictly descends.
+type DisjointSet[K comparable] struct {
+	comm   *Comm
+	hash   func(K) uint64
+	less   func(a, b K) bool
+	shards []dsShard[K]
+}
+
+type dsShard[K comparable] struct {
+	mu     sync.Mutex
+	parent map[K]K
+}
+
+// NewDisjointSet creates a DisjointSet partitioned across c's ranks.
+// less must be a strict total order on keys; NewDisjointSetOrdered derives
+// it for ordered key types.
+func NewDisjointSet[K comparable](c *Comm, hash func(K) uint64, less func(a, b K) bool) *DisjointSet[K] {
+	d := &DisjointSet[K]{comm: c, hash: hash, less: less, shards: make([]dsShard[K], c.n)}
+	for i := range d.shards {
+		d.shards[i].parent = make(map[K]K)
+	}
+	return d
+}
+
+// NewDisjointSetOrdered creates a DisjointSet for an ordered key type.
+func NewDisjointSetOrdered[K interface {
+	comparable
+	~int | ~int32 | ~int64 | ~uint | ~uint32 | ~uint64 | ~string
+}](c *Comm, hash func(K) uint64) *DisjointSet[K] {
+	return NewDisjointSet[K](c, hash, func(a, b K) bool { return a < b })
+}
+
+// Owner returns the rank owning key k.
+func (d *DisjointSet[K]) Owner(k K) int { return int(d.hash(k) % uint64(d.comm.n)) }
+
+// AsyncInsert ensures k exists as a singleton (no-op if present).
+func (d *DisjointSet[K]) AsyncInsert(r *Rank, k K) {
+	owner := d.Owner(k)
+	r.Local(owner, func(*Rank) {
+		s := &d.shards[owner]
+		s.mu.Lock()
+		if _, ok := s.parent[k]; !ok {
+			s.parent[k] = k
+		}
+		s.mu.Unlock()
+	})
+}
+
+// AsyncUnion merges the sets containing a and b. Completion is guaranteed
+// by the next Barrier.
+func (d *DisjointSet[K]) AsyncUnion(r *Rank, a, b K) {
+	if a == b {
+		d.AsyncInsert(r, a)
+		return
+	}
+	d.chase(r, a, b)
+}
+
+// chase walks x toward its root, then links against y. Invariant carried
+// across hops: we are merging the components of x and y.
+func (d *DisjointSet[K]) chase(r *Rank, x, y K) {
+	owner := d.Owner(x)
+	r.Local(owner, func(or *Rank) {
+		s := &d.shards[owner]
+		s.mu.Lock()
+		px, ok := s.parent[x]
+		if !ok {
+			s.parent[x] = x
+			px = x
+		}
+		if px != x {
+			s.mu.Unlock()
+			// Not a root: hop to the parent (path stays acyclic since
+			// parents strictly descend in the order).
+			if px == y {
+				return
+			}
+			d.chase(or, px, y)
+			return
+		}
+		// x is a root.
+		switch {
+		case x == y:
+			s.mu.Unlock()
+		case d.less(y, x):
+			// Attach root x under the strictly smaller y: preserves
+			// the descending-parent invariant.
+			s.parent[x] = y
+			s.mu.Unlock()
+			// Ensure y exists.
+			d.AsyncInsert(or, y)
+		default:
+			s.mu.Unlock()
+			// y > x: chase y's root and link it against x.
+			d.chase(or, y, x)
+		}
+	})
+}
+
+// Roots resolves every key to its set representative. Call at quiescence
+// (after Barrier / Run).
+func (d *DisjointSet[K]) Roots() map[K]K {
+	parent := make(map[K]K)
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		for k, p := range s.parent {
+			parent[k] = p
+		}
+		s.mu.Unlock()
+	}
+	roots := make(map[K]K, len(parent))
+	var find func(K) K
+	find = func(k K) K {
+		p := parent[k]
+		if p == k {
+			return k
+		}
+		r := find(p)
+		parent[k] = r // compress
+		return r
+	}
+	for k := range parent {
+		roots[k] = find(k)
+	}
+	return roots
+}
+
+// Size returns the number of tracked keys. Call at quiescence.
+func (d *DisjointSet[K]) Size() int {
+	n := 0
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		n += len(s.parent)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// CountSets returns the number of disjoint sets. Call at quiescence.
+func (d *DisjointSet[K]) CountSets() int {
+	roots := d.Roots()
+	distinct := make(map[K]struct{})
+	for _, r := range roots {
+		distinct[r] = struct{}{}
+	}
+	return len(distinct)
+}

@@ -1,0 +1,157 @@
+package ygm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDisjointSetBasicUnion(t *testing.T) {
+	c := NewComm(4)
+	defer c.Close()
+	ds := NewDisjointSetOrdered[uint32](c, HashU32)
+	c.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			ds.AsyncUnion(r, 1, 2)
+			ds.AsyncUnion(r, 3, 4)
+			ds.AsyncInsert(r, 9)
+		}
+		r.Barrier()
+	})
+	if got := ds.CountSets(); got != 3 {
+		t.Fatalf("sets = %d, want 3", got)
+	}
+	roots := ds.Roots()
+	if roots[1] != roots[2] || roots[3] != roots[4] {
+		t.Fatalf("roots wrong: %v", roots)
+	}
+	if roots[1] == roots[3] || roots[9] != 9 {
+		t.Fatalf("spurious merge: %v", roots)
+	}
+}
+
+func TestDisjointSetChainAcrossRanks(t *testing.T) {
+	// A long chain built concurrently from both ends and the middle must
+	// collapse into one set.
+	c := NewComm(5)
+	defer c.Close()
+	ds := NewDisjointSetOrdered[uint32](c, HashU32)
+	const n = 500
+	c.Run(func(r *Rank) {
+		for i := r.ID(); i < n-1; i += r.NRanks() {
+			ds.AsyncUnion(r, uint32(i), uint32(i+1))
+		}
+		r.Barrier()
+	})
+	if got := ds.CountSets(); got != 1 {
+		t.Fatalf("chain produced %d sets, want 1", got)
+	}
+	if ds.Size() != n {
+		t.Fatalf("size = %d, want %d", ds.Size(), n)
+	}
+}
+
+func TestDisjointSetSelfUnion(t *testing.T) {
+	c := NewComm(2)
+	defer c.Close()
+	ds := NewDisjointSetOrdered[uint32](c, HashU32)
+	c.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			ds.AsyncUnion(r, 7, 7)
+		}
+		r.Barrier()
+	})
+	if ds.Size() != 1 || ds.CountSets() != 1 {
+		t.Fatalf("self union: size=%d sets=%d", ds.Size(), ds.CountSets())
+	}
+}
+
+func TestDisjointSetParentInvariant(t *testing.T) {
+	// Internal invariant: every non-root parent strictly precedes its
+	// child (acyclicity by construction).
+	c := NewComm(4)
+	defer c.Close()
+	ds := NewDisjointSetOrdered[uint32](c, HashU32)
+	rng := rand.New(rand.NewSource(8))
+	pairs := make([][2]uint32, 2000)
+	for i := range pairs {
+		pairs[i] = [2]uint32{uint32(rng.Intn(300)), uint32(rng.Intn(300))}
+	}
+	c.Run(func(r *Rank) {
+		for i := r.ID(); i < len(pairs); i += r.NRanks() {
+			ds.AsyncUnion(r, pairs[i][0], pairs[i][1])
+		}
+		r.Barrier()
+	})
+	for i := range ds.shards {
+		s := &ds.shards[i]
+		s.mu.Lock()
+		for k, p := range s.parent {
+			if p != k && p >= k {
+				s.mu.Unlock()
+				t.Fatalf("parent invariant violated: parent[%d] = %d", k, p)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+func TestQuickDisjointSetMatchesSequential(t *testing.T) {
+	// The distributed structure must induce exactly the partition of a
+	// sequential union-find over the same edges.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 2
+		m := rng.Intn(120)
+		pairs := make([][2]uint32, m)
+		for i := range pairs {
+			pairs[i] = [2]uint32{uint32(rng.Intn(n)), uint32(rng.Intn(n))}
+		}
+		// Sequential reference.
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for _, p := range pairs {
+			parent[find(int(p[0]))] = find(int(p[1]))
+		}
+		// Distributed.
+		c := NewComm(3)
+		defer c.Close()
+		ds := NewDisjointSetOrdered[uint32](c, HashU32)
+		c.Run(func(r *Rank) {
+			for i := r.ID(); i < len(pairs); i += r.NRanks() {
+				ds.AsyncUnion(r, pairs[i][0], pairs[i][1])
+			}
+			r.Barrier()
+		})
+		roots := ds.Roots()
+		// Same-set relation must agree on every touched pair of keys.
+		touched := make([]uint32, 0, n)
+		for k := range roots {
+			touched = append(touched, k)
+		}
+		for i := 0; i < len(touched); i++ {
+			for j := i + 1; j < len(touched); j++ {
+				a, b := touched[i], touched[j]
+				seq := find(int(a)) == find(int(b))
+				dist := roots[a] == roots[b]
+				if seq != dist {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package ygm_test
+
+import (
+	"fmt"
+
+	"coordbot/internal/ygm"
+)
+
+// A communicator with four ranks counts words with a partitioned Counter:
+// every rank asynchronously increments keys, the barrier guarantees global
+// quiescence, and the gathered histogram is exact.
+func ExampleComm() {
+	comm := ygm.NewComm(4)
+	defer comm.Close()
+	counter := ygm.NewCounter[string](comm, ygm.HashString)
+	words := []string{"bot", "bot", "user", "bot", "user", "page"}
+	comm.Run(func(r *ygm.Rank) {
+		for i := r.ID(); i < len(words); i += r.NRanks() {
+			counter.AsyncIncrement(r, words[i])
+		}
+		r.Barrier()
+	})
+	counts := counter.Gather()
+	fmt.Println("bot:", counts["bot"])
+	fmt.Println("user:", counts["user"])
+	fmt.Println("page:", counts["page"])
+	// Output:
+	// bot: 3
+	// user: 2
+	// page: 1
+}
+
+// The distributed disjoint-set collapses a chain of unions issued from
+// different ranks into one component.
+func ExampleDisjointSet() {
+	comm := ygm.NewComm(3)
+	defer comm.Close()
+	ds := ygm.NewDisjointSetOrdered[uint32](comm, ygm.HashU32)
+	comm.Run(func(r *ygm.Rank) {
+		for i := r.ID(); i < 9; i += r.NRanks() {
+			ds.AsyncUnion(r, uint32(i), uint32(i+1))
+		}
+		r.Barrier()
+	})
+	fmt.Println("sets:", ds.CountSets())
+	fmt.Println("items:", ds.Size())
+	// Output:
+	// sets: 1
+	// items: 10
+}

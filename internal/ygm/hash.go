@@ -1,0 +1,35 @@
+package ygm
+
+// Key hashing for container partitioning. We use strong integer mixers
+// (Murmur3/SplitMix64 finalizers) rather than identity so that structured
+// IDs (dense vertex numbers, sorted pairs) spread evenly across ranks.
+
+// HashU64 mixes a 64-bit key (SplitMix64 finalizer).
+func HashU64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashU32 mixes a 32-bit key into 64 bits.
+func HashU32(x uint32) uint64 { return HashU64(uint64(x)) }
+
+// HashPair mixes an ordered pair of 32-bit keys (e.g. a graph edge).
+func HashPair(a, b uint32) uint64 { return HashU64(uint64(a)<<32 | uint64(b)) }
+
+// HashString hashes a string (FNV-1a 64, then mixed).
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return HashU64(h)
+}

@@ -1,0 +1,197 @@
+package ygm
+
+import "sync"
+
+// Map is a hash-partitioned key→value container in the style of
+// ygm::container::map. Each key lives on exactly one owner rank,
+// determined by hash(key) mod nranks; mutating operations are asynchronous
+// messages executed at the owner. Local shards are mutex-guarded so that
+// inline fast-path delivery (Rank.Local) is safe.
+type Map[K comparable, V any] struct {
+	comm   *Comm
+	hash   func(K) uint64
+	shards []mapShard[K, V]
+}
+
+type mapShard[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]V
+}
+
+// NewMap creates a Map partitioned across c's ranks using hash.
+func NewMap[K comparable, V any](c *Comm, hash func(K) uint64) *Map[K, V] {
+	m := &Map[K, V]{comm: c, hash: hash, shards: make([]mapShard[K, V], c.n)}
+	for i := range m.shards {
+		m.shards[i].m = make(map[K]V)
+	}
+	return m
+}
+
+// Owner returns the rank that owns key k.
+func (m *Map[K, V]) Owner(k K) int { return int(m.hash(k) % uint64(m.comm.n)) }
+
+// AsyncInsert sets k to v at the owner (last write wins).
+func (m *Map[K, V]) AsyncInsert(r *Rank, k K, v V) {
+	owner := m.Owner(k)
+	r.Local(owner, func(*Rank) {
+		s := &m.shards[owner]
+		s.mu.Lock()
+		s.m[k] = v
+		s.mu.Unlock()
+	})
+}
+
+// AsyncVisit runs visit(k, current, exists) at the owner. The visit function
+// returns the new value and whether to store it; returning store=false on a
+// missing key leaves the map unchanged.
+func (m *Map[K, V]) AsyncVisit(r *Rank, k K, visit func(k K, v V, exists bool) (V, bool)) {
+	owner := m.Owner(k)
+	r.Local(owner, func(*Rank) {
+		s := &m.shards[owner]
+		s.mu.Lock()
+		cur, ok := s.m[k]
+		nv, store := visit(k, cur, ok)
+		if store {
+			s.m[k] = nv
+		}
+		s.mu.Unlock()
+	})
+}
+
+// AsyncReduce folds v into the value at k with reduce, inserting v if the
+// key is absent. This is the workhorse for weighted-edge accumulation.
+func (m *Map[K, V]) AsyncReduce(r *Rank, k K, v V, reduce func(a, b V) V) {
+	owner := m.Owner(k)
+	r.Local(owner, func(*Rank) {
+		s := &m.shards[owner]
+		s.mu.Lock()
+		if cur, ok := s.m[k]; ok {
+			s.m[k] = reduce(cur, v)
+		} else {
+			s.m[k] = v
+		}
+		s.mu.Unlock()
+	})
+}
+
+// AsyncFetch delivers the value at k (zero V if absent) back to the calling
+// rank via the continuation fn, which runs on the origin rank.
+func (m *Map[K, V]) AsyncFetch(r *Rank, k K, fn func(k K, v V, ok bool)) {
+	owner := m.Owner(k)
+	origin := r.ID()
+	r.Local(owner, func(or *Rank) {
+		s := &m.shards[owner]
+		s.mu.Lock()
+		v, ok := s.m[k]
+		s.mu.Unlock()
+		or.Local(origin, func(*Rank) { fn(k, v, ok) })
+	})
+}
+
+// LocalShard exposes rank r's shard for read-mostly phases after a Barrier.
+// The caller must hold no expectation of concurrent mutation.
+func (m *Map[K, V]) LocalShard(r *Rank) map[K]V { return m.shards[r.ID()].m }
+
+// ForAllLocal iterates rank r's shard under the shard lock.
+func (m *Map[K, V]) ForAllLocal(r *Rank, fn func(k K, v V)) {
+	s := &m.shards[r.ID()]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.m {
+		fn(k, v)
+	}
+}
+
+// Size returns the global entry count. Call at quiescence.
+func (m *Map[K, V]) Size() int {
+	total := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		total += len(s.m)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Gather copies the whole map into one ordinary map. Call at quiescence.
+func (m *Map[K, V]) Gather() map[K]V {
+	out := make(map[K]V, m.Size())
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for k, v := range s.m {
+			out[k] = v
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Counter is a partitioned counting map (ygm::container::counting_set).
+type Counter[K comparable] struct {
+	m *Map[K, int64]
+}
+
+// NewCounter creates a Counter partitioned across c's ranks.
+func NewCounter[K comparable](c *Comm, hash func(K) uint64) *Counter[K] {
+	return &Counter[K]{m: NewMap[K, int64](c, hash)}
+}
+
+// AsyncAdd adds delta to the count for k.
+func (c *Counter[K]) AsyncAdd(r *Rank, k K, delta int64) {
+	c.m.AsyncReduce(r, k, delta, func(a, b int64) int64 { return a + b })
+}
+
+// AsyncIncrement adds 1 to the count for k.
+func (c *Counter[K]) AsyncIncrement(r *Rank, k K) { c.AsyncAdd(r, k, 1) }
+
+// Gather returns all counts. Call at quiescence.
+func (c *Counter[K]) Gather() map[K]int64 { return c.m.Gather() }
+
+// ForAllLocal iterates rank r's shard.
+func (c *Counter[K]) ForAllLocal(r *Rank, fn func(k K, n int64)) { c.m.ForAllLocal(r, fn) }
+
+// Size returns the number of distinct keys. Call at quiescence.
+func (c *Counter[K]) Size() int { return c.m.Size() }
+
+// Total returns the sum of all counts. Call at quiescence.
+func (c *Counter[K]) Total() int64 {
+	var t int64
+	for k, v := range c.m.Gather() {
+		_ = k
+		t += v
+	}
+	return t
+}
+
+// Set is a hash-partitioned set (ygm::container::set).
+type Set[K comparable] struct {
+	m *Map[K, struct{}]
+}
+
+// NewSet creates a Set partitioned across c's ranks.
+func NewSet[K comparable](c *Comm, hash func(K) uint64) *Set[K] {
+	return &Set[K]{m: NewMap[K, struct{}](c, hash)}
+}
+
+// AsyncInsert adds k to the set.
+func (s *Set[K]) AsyncInsert(r *Rank, k K) { s.m.AsyncInsert(r, k, struct{}{}) }
+
+// Size returns the cardinality. Call at quiescence.
+func (s *Set[K]) Size() int { return s.m.Size() }
+
+// Gather returns the members. Call at quiescence.
+func (s *Set[K]) Gather() []K {
+	g := s.m.Gather()
+	out := make([]K, 0, len(g))
+	for k := range g {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ForAllLocal iterates rank r's shard.
+func (s *Set[K]) ForAllLocal(r *Rank, fn func(k K)) {
+	s.m.ForAllLocal(r, func(k K, _ struct{}) { fn(k) })
+}

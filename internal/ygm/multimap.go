@@ -1,0 +1,105 @@
+package ygm
+
+import "sync"
+
+// MultiMap is a hash-partitioned key→[]value container, the shape of a
+// distributed adjacency list (ygm::container::multimap). The projection
+// step stores each page's time-sorted comment list in one; TriPoll stores
+// per-vertex neighbor lists.
+type MultiMap[K comparable, V any] struct {
+	comm   *Comm
+	hash   func(K) uint64
+	shards []mmShard[K, V]
+}
+
+type mmShard[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K][]V
+}
+
+// NewMultiMap creates a MultiMap partitioned across c's ranks using hash.
+func NewMultiMap[K comparable, V any](c *Comm, hash func(K) uint64) *MultiMap[K, V] {
+	mm := &MultiMap[K, V]{comm: c, hash: hash, shards: make([]mmShard[K, V], c.n)}
+	for i := range mm.shards {
+		mm.shards[i].m = make(map[K][]V)
+	}
+	return mm
+}
+
+// Owner returns the rank that owns key k.
+func (mm *MultiMap[K, V]) Owner(k K) int { return int(mm.hash(k) % uint64(mm.comm.n)) }
+
+// AsyncAppend appends v to k's list at the owner.
+func (mm *MultiMap[K, V]) AsyncAppend(r *Rank, k K, v V) {
+	owner := mm.Owner(k)
+	r.Local(owner, func(*Rank) {
+		s := &mm.shards[owner]
+		s.mu.Lock()
+		s.m[k] = append(s.m[k], v)
+		s.mu.Unlock()
+	})
+}
+
+// AsyncVisit runs visit(k, values) at the owner; values may be mutated in
+// place (the slice header returned replaces the stored one).
+func (mm *MultiMap[K, V]) AsyncVisit(r *Rank, k K, visit func(k K, vs []V) []V) {
+	owner := mm.Owner(k)
+	r.Local(owner, func(*Rank) {
+		s := &mm.shards[owner]
+		s.mu.Lock()
+		s.m[k] = visit(k, s.m[k])
+		s.mu.Unlock()
+	})
+}
+
+// ForAllLocal iterates rank r's shard under the shard lock.
+func (mm *MultiMap[K, V]) ForAllLocal(r *Rank, fn func(k K, vs []V)) {
+	s := &mm.shards[r.ID()]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, vs := range s.m {
+		fn(k, vs)
+	}
+}
+
+// KeyCount returns the number of distinct keys. Call at quiescence.
+func (mm *MultiMap[K, V]) KeyCount() int {
+	total := 0
+	for i := range mm.shards {
+		s := &mm.shards[i]
+		s.mu.Lock()
+		total += len(s.m)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// ValueCount returns the total number of stored values. Call at quiescence.
+func (mm *MultiMap[K, V]) ValueCount() int {
+	total := 0
+	for i := range mm.shards {
+		s := &mm.shards[i]
+		s.mu.Lock()
+		for _, vs := range s.m {
+			total += len(vs)
+		}
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Gather copies the whole container. Call at quiescence.
+func (mm *MultiMap[K, V]) Gather() map[K][]V {
+	out := make(map[K][]V, mm.KeyCount())
+	for i := range mm.shards {
+		s := &mm.shards[i]
+		s.mu.Lock()
+		for k, vs := range s.m {
+			cp := make([]V, len(vs))
+			copy(cp, vs)
+			out[k] = cp
+		}
+		s.mu.Unlock()
+	}
+	return out
+}

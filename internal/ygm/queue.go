@@ -1,0 +1,56 @@
+package ygm
+
+import "sync"
+
+// mailbox is an unbounded multi-producer single-consumer queue of messages.
+// Unboundedness matters: with bounded channels, two rank consumers that are
+// each blocked sending to the other's full mailbox would deadlock. YGM's MPI
+// transport has the same property (buffered eager sends).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Handler
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// push enqueues h. It never blocks.
+func (m *mailbox) push(h Handler) {
+	m.mu.Lock()
+	m.items = append(m.items, h)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// pop dequeues the next message, blocking until one is available or the
+// mailbox is closed. The second result is false once closed and drained.
+func (m *mailbox) pop() (Handler, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.items) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.items) == 0 {
+		return nil, false
+	}
+	h := m.items[0]
+	m.items = m.items[1:]
+	if len(m.items) == 0 {
+		// Release the backing array so long-idle ranks don't pin memory.
+		m.items = nil
+	}
+	return h, true
+}
+
+// close wakes the consumer; pending messages are still drained first.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}

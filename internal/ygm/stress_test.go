@@ -1,0 +1,122 @@
+package ygm
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Stress and edge-case tests for the runtime.
+
+func TestHandlersSendingToAllRanksUnderLoad(t *testing.T) {
+	// A two-generation storm: every message to rank r fans out to all
+	// ranks once more. Quiescence accounting must survive the burst.
+	c := NewComm(6)
+	defer c.Close()
+	var n atomic.Int64
+	c.Run(func(r *Rank) {
+		for i := 0; i < 200; i++ {
+			r.Async(i%r.NRanks(), func(rr *Rank) {
+				for d := 0; d < rr.NRanks(); d++ {
+					rr.Async(d, func(*Rank) { n.Add(1) })
+				}
+			})
+		}
+		r.Barrier()
+	})
+	want := int64(6 * 200 * 6)
+	if got := n.Load(); got != want {
+		t.Fatalf("n = %d, want %d", got, want)
+	}
+}
+
+func TestMapHighContentionSingleKey(t *testing.T) {
+	c := NewComm(8)
+	defer c.Close()
+	m := NewMap[uint32, int64](c, HashU32)
+	add := func(a, b int64) int64 { return a + b }
+	const per = 2000
+	c.Run(func(r *Rank) {
+		for i := 0; i < per; i++ {
+			m.AsyncReduce(r, 42, 1, add)
+		}
+		r.Barrier()
+	})
+	if got := m.Gather()[42]; got != 8*per {
+		t.Fatalf("hot key = %d, want %d", got, 8*per)
+	}
+}
+
+func TestCloseDrainsPendingWork(t *testing.T) {
+	// Close must not lose messages that are still in flight.
+	c := NewComm(3)
+	var n atomic.Int64
+	c.Run(func(r *Rank) {
+		for i := 0; i < 100; i++ {
+			r.Async((r.ID()+1)%r.NRanks(), func(*Rank) { n.Add(1) })
+		}
+		// No barrier: rely on Run's drain + Close.
+	})
+	c.Close()
+	if got := n.Load(); got != 300 {
+		t.Fatalf("n = %d, want 300 (messages lost at close)", got)
+	}
+}
+
+func TestBarrierFromSingleRankComm(t *testing.T) {
+	c := NewComm(1)
+	defer c.Close()
+	var n atomic.Int64
+	c.Run(func(r *Rank) {
+		r.Async(0, func(*Rank) { n.Add(1) })
+		r.Barrier()
+		if n.Load() != 1 {
+			t.Error("single-rank barrier did not drain")
+		}
+	})
+}
+
+func TestDeepCascadeChain(t *testing.T) {
+	// A 10000-deep sequential message chain (each handler sends one more)
+	// must drain within one barrier.
+	c := NewComm(2)
+	defer c.Close()
+	var depth atomic.Int64
+	var step func(r *Rank, remaining int)
+	step = func(r *Rank, remaining int) {
+		depth.Add(1)
+		if remaining == 0 {
+			return
+		}
+		r.Async(remaining%2, func(rr *Rank) { step(rr, remaining-1) })
+	}
+	c.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Async(1, func(rr *Rank) { step(rr, 9999) })
+		}
+		r.Barrier()
+	})
+	if got := depth.Load(); got != 10000 {
+		t.Fatalf("chain depth = %d, want 10000", got)
+	}
+}
+
+func TestBagLocalItemsAfterBarrier(t *testing.T) {
+	c := NewComm(4)
+	defer c.Close()
+	b := NewBag[int](c)
+	var totals [4]int
+	c.Run(func(r *Rank) {
+		for i := 0; i < 10; i++ {
+			b.AsyncInsertAt(r, (r.ID()+i)%r.NRanks(), i)
+		}
+		r.Barrier()
+		totals[r.ID()] = len(b.LocalItems(r))
+	})
+	sum := 0
+	for _, n := range totals {
+		sum += n
+	}
+	if sum != 40 {
+		t.Fatalf("local items sum = %d, want 40", sum)
+	}
+}

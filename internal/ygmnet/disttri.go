@@ -1,0 +1,135 @@
+package ygmnet
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/tripoll"
+)
+
+// Distributed TriPoll over the TCP transport: pivots are dealt to ranks,
+// and each wedge (pivot; u, w) is shipped as a serialized 20-byte message
+// to the owner of the closing edge's lower-order endpoint, which checks
+// closure against the shared oriented view, applies the survey thresholds,
+// and appends survivors to its local bag shard — the exact communication
+// pattern of Steil et al.'s TriPoll, with TCP in place of MPI.
+
+// TriangleCluster is a cluster prepared for distributed triangle surveys.
+type TriangleCluster struct {
+	Cluster *Cluster
+	handler uint16
+	state   []atomic.Pointer[triRun] // per rank, installed per survey
+	bags    []triBag                 // per rank
+}
+
+type triBag struct {
+	mu    sync.Mutex
+	items []tripoll.Triangle
+}
+
+type triRun struct {
+	adj  *graph.Adjacency
+	o    *tripoll.Oriented
+	opts tripoll.Options
+	// pageCount backs the T score (shared CI graph, read-only).
+	pageCount func(graph.VertexID) uint32
+}
+
+// wedge payload: 5 × uint32 big-endian (pivot, u, w, wu, ww).
+func wedgePayload(buf []byte, pivot, u, w int32, wu, ww uint32) {
+	binary.BigEndian.PutUint32(buf[0:], uint32(pivot))
+	binary.BigEndian.PutUint32(buf[4:], uint32(u))
+	binary.BigEndian.PutUint32(buf[8:], uint32(w))
+	binary.BigEndian.PutUint32(buf[12:], wu)
+	binary.BigEndian.PutUint32(buf[16:], ww)
+}
+
+// NewTriangleCluster starts an n-rank loopback cluster with the wedge
+// handler registered on every rank.
+func NewTriangleCluster(n int) (*TriangleCluster, error) {
+	tc := &TriangleCluster{
+		state: make([]atomic.Pointer[triRun], n),
+		bags:  make([]triBag, n),
+	}
+	cluster, err := StartLocal(n, func(node *Node) {
+		h := node.Register(func(nd *Node, payload []byte) {
+			rs := tc.state[nd.Rank()].Load()
+			pivot := int32(binary.BigEndian.Uint32(payload[0:]))
+			u := int32(binary.BigEndian.Uint32(payload[4:]))
+			w := int32(binary.BigEndian.Uint32(payload[8:]))
+			wu := binary.BigEndian.Uint32(payload[12:])
+			ww := binary.BigEndian.Uint32(payload[16:])
+			cw, ok := rs.o.ClosingWeight(u, w)
+			if !ok {
+				return
+			}
+			tr := tripoll.Assemble(rs.adj, pivot, u, w, wu, ww, cw)
+			if tr.MinWeight() < rs.opts.MinTriangleWeight {
+				return
+			}
+			if rs.opts.MinTScore > 0 && tr.TScore(rs.pageCount) < rs.opts.MinTScore {
+				return
+			}
+			b := &tc.bags[nd.Rank()]
+			b.mu.Lock()
+			b.items = append(b.items, tr)
+			b.mu.Unlock()
+		})
+		if node.Rank() == 0 {
+			tc.handler = h
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	tc.Cluster = cluster
+	return tc, nil
+}
+
+// Close shuts the cluster down.
+func (tc *TriangleCluster) Close() { tc.Cluster.Close() }
+
+// Survey enumerates the triangles of g passing opts, distributed across
+// the cluster. Results are sorted; the cluster is reusable afterwards.
+func (tc *TriangleCluster) Survey(g *graph.CIGraph, opts tripoll.Options) []tripoll.Triangle {
+	pruned := g.Threshold(tripoll.EffectiveEdgeCut(opts))
+	adj := pruned.BuildAdjacency()
+	o := tripoll.Orient(adj)
+	rs := &triRun{adj: adj, o: o, opts: opts, pageCount: g.PageCount}
+	n := adj.NumVertices()
+	nr := len(tc.Cluster.Nodes)
+	owner := func(v int32) int { return int(mix64(uint64(uint32(v))) % uint64(nr)) }
+
+	tc.Cluster.Run(func(node *Node) {
+		tc.state[node.Rank()].Store(rs)
+		node.Barrier() // every rank sees the run state before wedges fly
+		var buf [20]byte
+		for v := int32(node.Rank()); v < int32(n); v += int32(node.NRanks()) {
+			out, wt := o.Out(v)
+			for i := 0; i < len(out); i++ {
+				for j := i + 1; j < len(out); j++ {
+					lo := out[i]
+					if o.Less(out[j], out[i]) {
+						lo = out[j]
+					}
+					wedgePayload(buf[:], v, out[i], out[j], wt[i], wt[j])
+					node.Async(owner(lo), tc.handler, buf[:])
+				}
+			}
+		}
+		node.Barrier()
+	})
+
+	var outTris []tripoll.Triangle
+	for r := range tc.bags {
+		b := &tc.bags[r]
+		b.mu.Lock()
+		outTris = append(outTris, b.items...)
+		b.items = nil
+		b.mu.Unlock()
+	}
+	tripoll.SortTriangles(outTris)
+	return outTris
+}

@@ -1,0 +1,109 @@
+package ygmnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/projection"
+	"coordbot/internal/redditgen"
+	"coordbot/internal/tripoll"
+)
+
+func randomCIGraph(seed int64, nv, ne int) *graph.CIGraph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewCIGraph()
+	for i := 0; i < ne; i++ {
+		u := graph.VertexID(rng.Intn(nv))
+		v := graph.VertexID(rng.Intn(nv))
+		if u != v {
+			g.AddEdgeWeight(u, v, uint32(rng.Intn(5)+1))
+		}
+	}
+	return g
+}
+
+func TestDistributedSurveyMatchesSequential(t *testing.T) {
+	g := randomCIGraph(61, 100, 800)
+	var want []tripoll.Triangle
+	tripoll.SurveySequential(g, tripoll.Options{MinTriangleWeight: 2},
+		func(tr tripoll.Triangle) { want = append(want, tr) })
+	tripoll.SortTriangles(want)
+
+	for _, ranks := range []int{1, 4} {
+		tc, err := NewTriangleCluster(ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tc.Survey(g, tripoll.Options{MinTriangleWeight: 2})
+		if len(got) != len(want) {
+			t.Fatalf("ranks %d: %d triangles, want %d", ranks, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ranks %d: triangle %d = %+v, want %+v", ranks, i, got[i], want[i])
+			}
+		}
+		// Reusable: a second survey with a different threshold.
+		var want3 []tripoll.Triangle
+		tripoll.SurveySequential(g, tripoll.Options{MinTriangleWeight: 3},
+			func(tr tripoll.Triangle) { want3 = append(want3, tr) })
+		tripoll.SortTriangles(want3)
+		got3 := tc.Survey(g, tripoll.Options{MinTriangleWeight: 3})
+		if len(got3) != len(want3) {
+			t.Fatalf("ranks %d second survey: %d triangles, want %d", ranks, len(got3), len(want3))
+		}
+		tc.Close()
+	}
+}
+
+func TestDistributedSurveyTScore(t *testing.T) {
+	// The full pipeline combination on real data: projection (distributed
+	// over TCP) then triangle survey (distributed over TCP) equals the
+	// sequential composition.
+	d := redditgen.Generate(redditgen.Tiny(33))
+	b := d.BTM()
+	w := projection.Window{Min: 0, Max: 60}
+	opts := projection.Options{Exclude: d.Helpers}
+
+	pc, err := NewProjectionCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	ci, err := pc.Project(b, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sopts := tripoll.Options{MinTriangleWeight: 20, MinTScore: 0.5}
+	var want []tripoll.Triangle
+	tripoll.SurveySequential(ci, sopts, func(tr tripoll.Triangle) { want = append(want, tr) })
+	tripoll.SortTriangles(want)
+
+	tc, err := NewTriangleCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	got := tc.Survey(ci, sopts)
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("triangles = %d, want %d (nonzero)", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("triangle %d differs", i)
+		}
+	}
+}
+
+func TestDistributedSurveyEmpty(t *testing.T) {
+	tc, err := NewTriangleCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	if out := tc.Survey(graph.NewCIGraph(), tripoll.Options{}); len(out) != 0 {
+		t.Fatalf("empty graph yielded %d triangles", len(out))
+	}
+}

@@ -1,0 +1,39 @@
+package ygmnet_test
+
+import (
+	"fmt"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/projection"
+	"coordbot/internal/ygmnet"
+)
+
+// A three-rank cluster over loopback TCP runs the paper's Algorithm 1 with
+// serialized owner-computes messages, producing exactly the sequential
+// projection.
+func ExampleProjectionCluster() {
+	btm := graph.BuildBTM([]graph.Comment{
+		{Author: 0, Page: 0, TS: 0},
+		{Author: 1, Page: 0, TS: 10},
+		{Author: 2, Page: 0, TS: 20},
+		{Author: 0, Page: 1, TS: 100},
+		{Author: 1, Page: 1, TS: 130},
+	}, 0, 0)
+
+	pc, err := ygmnet.NewProjectionCluster(3)
+	if err != nil {
+		panic(err)
+	}
+	defer pc.Close()
+
+	g, err := pc.Project(btm, projection.Window{Min: 0, Max: 60}, projection.Options{})
+	if err != nil {
+		panic(err)
+	}
+	seq, _ := projection.ProjectSequential(btm, projection.Window{Min: 0, Max: 60}, projection.Options{})
+	fmt.Println("w'(0,1) =", g.Weight(0, 1))
+	fmt.Println("equals sequential:", g.Equal(seq))
+	// Output:
+	// w'(0,1) = 2
+	// equals sequential: true
+}

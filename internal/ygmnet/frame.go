@@ -1,0 +1,88 @@
+package ygmnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire protocol: length-prefixed frames over per-direction TCP links.
+//
+//	[4B big-endian total length][1B type][payload]
+//
+// App frames carry [2B handler id][user payload]; control frames carry
+// fixed-size fields documented per type.
+type frameType byte
+
+const (
+	// ftHello announces the dialer's rank on a fresh connection.
+	ftHello frameType = iota + 1
+	// ftApp is an application message for a registered handler.
+	ftApp
+	// ftEnter tells the coordinator a rank entered barrier epoch E.
+	ftEnter
+	// ftReportReq asks a rank for its message counters (epoch, round).
+	ftReportReq
+	// ftReport answers with (epoch, round, sent, processed).
+	ftReport
+	// ftRelease releases barrier epoch E.
+	ftRelease
+)
+
+const maxFrame = 1 << 28 // 256 MiB sanity bound
+
+// writeFrame emits one frame. Callers serialize access per connection.
+func writeFrame(w io.Writer, ft frameType, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = byte(ft)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame, reusing buf when it fits.
+func readFrame(r io.Reader, buf []byte) (frameType, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("ygmnet: bad frame length %d", n)
+	}
+	if int(n) > cap(buf) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return frameType(buf[0]), buf[1:], nil
+}
+
+// appPayload packs an application frame body.
+func appPayload(handler uint16, userPayload []byte) []byte {
+	out := make([]byte, 2+len(userPayload))
+	binary.BigEndian.PutUint16(out, handler)
+	copy(out[2:], userPayload)
+	return out
+}
+
+// u64 helpers for control frames and simple container payloads.
+
+func putU64s(vs ...uint64) []byte {
+	out := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.BigEndian.PutUint64(out[i*8:], v)
+	}
+	return out
+}
+
+func getU64(b []byte, i int) uint64 { return binary.BigEndian.Uint64(b[i*8:]) }

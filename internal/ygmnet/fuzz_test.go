@@ -1,0 +1,33 @@
+package ygmnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame hardens the wire parser against arbitrary bytes: it must
+// either return a frame or an error, never panic, and a frame it accepts
+// must round-trip through writeFrame.
+func FuzzReadFrame(f *testing.F) {
+	var good bytes.Buffer
+	writeFrame(&good, ftApp, appPayload(3, []byte("hello")))
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	f.Add([]byte{0, 0, 0, 2, 2, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, body, err := readFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := writeFrame(&out, ft, body); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		ft2, body2, err := readFrame(bytes.NewReader(out.Bytes()), nil)
+		if err != nil || ft2 != ft || !bytes.Equal(body2, body) {
+			t.Fatalf("round trip mismatch: %v %v %v", ft2, body2, err)
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package coordbot_test
+
+// Scaling studies: how each stage's cost grows with corpus size and window
+// length — the paper's central engineering trade-off ("the projected graph
+// tends to get much larger for longer windows of time", §3). Run with
+//
+//	go test -bench Scaling -benchmem
+//
+// and read the per-size ns/op series.
+
+import (
+	"fmt"
+	"testing"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/projection"
+	"coordbot/internal/redditgen"
+	"coordbot/internal/stream"
+	"coordbot/internal/tripoll"
+	"coordbot/internal/ygm"
+)
+
+// corpusOf builds a synthetic corpus with n organic comments.
+func corpusOf(n int) *redditgen.Dataset {
+	return redditgen.Generate(redditgen.Config{
+		Seed: 1234, Start: 0, End: 14 * 24 * 3600,
+		Organic: redditgen.OrganicConfig{
+			Authors:      n / 20,
+			Pages:        n / 40,
+			Comments:     n,
+			PageHalfLife: 3 * 3600,
+		},
+		AutoModerator: true,
+	})
+}
+
+func BenchmarkScalingProjectionComments(b *testing.B) {
+	for _, n := range []int{20000, 80000, 320000} {
+		d := corpusOf(n)
+		btm := d.BTM()
+		b.Run(fmt.Sprintf("comments=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := projection.ProjectSequential(btm,
+					projection.Window{Min: 0, Max: 60},
+					projection.Options{Exclude: d.Helpers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScalingProjectionWindow(b *testing.B) {
+	d := corpusOf(80000)
+	btm := d.BTM()
+	for _, max := range []int64{60, 600, 3600} {
+		max := max
+		b.Run(fmt.Sprintf("window=%ds", max), func(b *testing.B) {
+			b.ReportAllocs()
+			var edges int
+			for i := 0; i < b.N; i++ {
+				g, err := projection.ProjectSequential(btm,
+					projection.Window{Min: 0, Max: max},
+					projection.Options{Exclude: d.Helpers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges = g.NumEdges()
+			}
+			b.ReportMetric(float64(edges), "edges")
+		})
+	}
+}
+
+func BenchmarkScalingStreamVsBatch(b *testing.B) {
+	d := corpusOf(80000)
+	btm := d.BTM()
+	w := projection.Window{Min: 0, Max: 60}
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := projection.ProjectSequential(btm, w,
+				projection.Options{Exclude: d.Helpers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := stream.Project(d.Comments, w,
+				projection.Options{Exclude: d.Helpers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkScalingTriangleRanks(b *testing.B) {
+	d := corpusOf(160000)
+	btm := d.BTM()
+	g, err := projection.ProjectSequential(btm, projection.Window{Min: 0, Max: 600},
+		projection.Options{Exclude: d.Helpers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ranks := range []int{1, 2, 4, 8} {
+		ranks := ranks
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tripoll.Survey(g, tripoll.Options{MinTriangleWeight: 3, Ranks: ranks})
+			}
+		})
+	}
+}
+
+func BenchmarkScalingDisjointSetRanks(b *testing.B) {
+	// Union throughput of the distributed disjoint-set across rank counts.
+	const edges = 100000
+	pairs := make([][2]uint32, edges)
+	rng := uint32(12345)
+	next := func() uint32 { rng = rng*1664525 + 1013904223; return rng }
+	for i := range pairs {
+		pairs[i] = [2]uint32{next() % 20000, next() % 20000}
+	}
+	for _, ranks := range []int{1, 2, 4, 8} {
+		ranks := ranks
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := ygm.NewComm(ranks)
+				ds := ygm.NewDisjointSetOrdered[uint32](c, ygm.HashU32)
+				c.Run(func(r *ygm.Rank) {
+					for j := r.ID(); j < len(pairs); j += r.NRanks() {
+						ds.AsyncUnion(r, pairs[j][0], pairs[j][1])
+					}
+					r.Barrier()
+				})
+				c.Close()
+			}
+		})
+	}
+}
+
+func BenchmarkScalingComponents(b *testing.B) {
+	d := corpusOf(160000)
+	btm := d.BTM()
+	g, err := projection.ProjectSequential(btm, projection.Window{Min: 0, Max: 600},
+		projection.Options{Exclude: d.Helpers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pruned := g.Threshold(3)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graph.ConnectedComponents(pruned)
+		}
+	})
+	b.Run("ygm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graph.ConnectedComponentsParallel(pruned, 0)
+		}
+	})
+}
