@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench experiments examples clean
+.PHONY: all build check vet test test-race bench experiments examples clean
 
-all: build vet test
+all: build check
+
+# The gate PRs must pass: static checks plus the full suite under the
+# race detector (the daemon's ingest/survey concurrency depends on it).
+check: vet test-race
 
 build:
 	$(GO) build ./...
@@ -40,6 +44,7 @@ examples:
 	$(GO) run ./examples/refine
 	$(GO) run ./examples/baselinecompare
 	$(GO) run ./examples/distributed
+	$(GO) run ./examples/daemon
 
 clean:
 	rm -rf results test_output.txt bench_output.txt

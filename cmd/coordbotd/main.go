@@ -1,0 +1,104 @@
+// Command coordbotd is the streaming detection daemon: it maintains the
+// common-interaction graph of a sliding event-time window over a live
+// comment stream, periodically surveys it for coordinated triangles, and
+// serves the results over an HTTP/JSON API.
+//
+// Usage:
+//
+//	coordbotd -addr :8080 -max 60 -horizon 86400 -interval 30s -cut 25
+//
+// Endpoints (see internal/detectd):
+//
+//	POST /v1/ingest     ingest a JSON array or NDJSON stream of comments
+//	GET  /v1/triangles  latest survey results
+//	GET  /v1/score      live pairwise scores for ?users=a,b,c
+//	GET  /v1/stats      counters and gauges
+//	GET  /healthz       liveness
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"coordbot/internal/detectd"
+	"coordbot/internal/projection"
+)
+
+func main() {
+	fs := flag.NewFlagSet("coordbotd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	min := fs.Int64("min", 0, "window lower bound δ1 (seconds, inclusive)")
+	max := fs.Int64("max", 60, "window upper bound δ2 (seconds, exclusive)")
+	horizon := fs.Int64("horizon", 24*3600, "trailing event-time horizon (seconds)")
+	interval := fs.Duration("interval", 30*time.Second, "survey cadence (0 disables the loop)")
+	cut := fs.Uint("cut", 25, "min triangle edge weight")
+	tscore := fs.Float64("tscore", 0, "min T score for flagged triplets")
+	queue := fs.Int("queue", 256, "ingest queue size (batches)")
+	exclude := fs.String("exclude", "AutoModerator,[deleted]", "comma-separated authors to exclude")
+	noHyper := fs.Bool("no-hyper", false, "skip hypergraph validation (no comment log kept)")
+	dropLate := fs.Bool("drop-late", false, "drop out-of-order comments instead of clamping to the watermark")
+	ranks := fs.Int("ranks", 0, "survey parallelism (0 = all cores)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	var excl []string
+	for _, name := range strings.Split(*exclude, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			excl = append(excl, name)
+		}
+	}
+	s, err := detectd.NewService(detectd.Config{
+		Window:             projection.Window{Min: *min, Max: *max},
+		Horizon:            *horizon,
+		SurveyInterval:     *interval,
+		MinTriangleWeight:  uint32(*cut),
+		MinTScore:          *tscore,
+		ValidateHypergraph: !*noHyper,
+		Exclude:            excl,
+		QueueSize:          *queue,
+		ClampLate:          !*dropLate,
+		Ranks:              *ranks,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordbotd:", err)
+		os.Exit(1)
+	}
+	s.Start()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("coordbotd listening on %s (window [%d,%d), horizon %ds, survey every %s)",
+		*addr, *min, *max, *horizon, *interval)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("coordbotd: %s — shutting down", sig)
+	case err := <-errc:
+		log.Printf("coordbotd: server error: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("coordbotd: shutdown: %v", err)
+	}
+	s.Close() // drain the ingest queue, stop the survey loop
+	log.Printf("coordbotd: stopped (%d comments ingested, %d survey cycles)",
+		s.Ingested(), s.Cycles())
+}

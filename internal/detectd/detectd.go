@@ -1,0 +1,392 @@
+// Package detectd is the long-running streaming detection service: the
+// paper's three-step pipeline turned into a daemon. It glues three layers
+// together:
+//
+//  1. A sliding-window projector (stream.SlidingProjector) ingests a
+//     time-ordered comment stream and maintains the CI graph of only the
+//     trailing event-time horizon — old co-activity ages out instead of
+//     accumulating forever.
+//  2. A background survey loop periodically snapshots the live CI graph
+//     (deep copy under a brief lock — ingestion never waits on a survey),
+//     runs the batch triangle survey and hypergraph validation on the
+//     snapshot via pipeline.RunOnCI, and atomically publishes the result.
+//  3. An HTTP/JSON API (http.go) exposes ingestion with backpressure,
+//     the latest survey, per-user scoring, stats, and health.
+//
+// Time is event time throughout: eviction is driven by ingested
+// timestamps, not the wall clock, so replayed archives and live traffic
+// behave identically. The survey loop's cadence is the only wall-clock
+// element.
+package detectd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/interner"
+	"coordbot/internal/pipeline"
+	"coordbot/internal/projection"
+	"coordbot/internal/stream"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Window is the projection delay window (δ1, δ2) in seconds.
+	Window projection.Window
+	// Horizon is the trailing event-time span, in seconds, that the CI
+	// graph covers; co-activity older than this decays out.
+	Horizon int64
+	// SurveyInterval is the wall-clock cadence of the background survey
+	// loop. Zero or negative disables the loop; surveys then run only via
+	// SurveyNow (the embedding/test mode).
+	SurveyInterval time.Duration
+	// MinEdgeWeight / MinTriangleWeight / MinTScore are the survey
+	// thresholds, as in pipeline.Config.
+	MinEdgeWeight     uint32
+	MinTriangleWeight uint32
+	MinTScore         float64
+	// ValidateHypergraph keeps a trailing-horizon comment log and runs
+	// Step-3 validation each cycle. Costs memory proportional to the
+	// horizon's traffic; without it surveys report CI metrics only.
+	ValidateHypergraph bool
+	// Exclude lists author names skipped at projection (§3 helpers).
+	Exclude []string
+	// QueueSize bounds the ingest queue in batches; a full queue makes
+	// the API push back with 429 (default 256).
+	QueueSize int
+	// ClampLate lifts slightly-late comments up to the watermark instead
+	// of rejecting them (live feeds are only approximately ordered).
+	// When false, out-of-order comments are dropped and counted.
+	ClampLate bool
+	// Ranks is the survey parallelism (0 = library default); Sequential
+	// forces the single-threaded reference implementations.
+	Ranks      int
+	Sequential bool
+}
+
+func (c *Config) setDefaults() error {
+	if err := c.Window.Validate(); err != nil {
+		return err
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("detectd: non-positive horizon %d", c.Horizon)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.MinTriangleWeight == 0 {
+		c.MinTriangleWeight = 1
+	}
+	return nil
+}
+
+// SurveyResult is one published survey cycle.
+type SurveyResult struct {
+	// Cycle numbers survey runs from 1.
+	Cycle int64
+	// Watermark is the event time of the snapshot.
+	Watermark int64
+	// TakenAt / Duration are wall-clock: when the cycle started and how
+	// long snapshot+survey+validation took.
+	TakenAt  time.Time
+	Duration time.Duration
+	// Edges / Vertices describe the snapshot CI graph.
+	Edges, Vertices int
+	// Result is the full batch-pipeline output on the snapshot.
+	Result *pipeline.Result
+}
+
+// Service is the daemon. Create with NewService, start the background
+// goroutines with Start, serve Handler() over HTTP, stop with Close.
+type Service struct {
+	cfg     Config
+	authors *interner.Interner
+	pageIDs *interner.Interner
+
+	mu   sync.Mutex // guards proj and log
+	proj *stream.SlidingProjector
+	// log is the trailing-horizon comment ring Step 3 validates against
+	// (only when cfg.ValidateHypergraph).
+	log      []graph.Comment
+	logStart int
+
+	queue  chan []graph.Comment
+	latest atomic.Pointer[SurveyResult]
+
+	ingested     atomic.Int64
+	dropped      atomic.Int64
+	lateClamped  atomic.Int64
+	cycles       atomic.Int64
+	surveyErrs   atomic.Int64
+	lastSurveyNS atomic.Int64
+
+	metrics *metrics
+	started time.Time
+
+	stopping             atomic.Bool
+	quit                 chan struct{}
+	wg                   sync.WaitGroup
+	startOnce, closeOnce sync.Once
+}
+
+// NewService validates cfg and builds a stopped service.
+func NewService(cfg Config) (*Service, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	authors := interner.New(1 << 12)
+	exclude := make(map[graph.VertexID]bool, len(cfg.Exclude))
+	for _, name := range cfg.Exclude {
+		exclude[authors.Intern(name)] = true
+	}
+	proj, err := stream.NewSlidingProjector(cfg.Window, cfg.Horizon,
+		projection.Options{Exclude: exclude})
+	if err != nil {
+		return nil, err
+	}
+	return &Service{
+		cfg:     cfg,
+		authors: authors,
+		pageIDs: interner.New(1 << 12),
+		proj:    proj,
+		queue:   make(chan []graph.Comment, cfg.QueueSize),
+		metrics: newMetrics(),
+		quit:    make(chan struct{}),
+		started: time.Now(),
+	}, nil
+}
+
+// Authors exposes the author name↔ID table (shared with API responses).
+func (s *Service) Authors() *interner.Interner { return s.authors }
+
+// Pages exposes the page name↔ID table.
+func (s *Service) Pages() *interner.Interner { return s.pageIDs }
+
+// Start launches the ingest worker and, if configured, the survey loop.
+func (s *Service) Start() {
+	s.startOnce.Do(func() {
+		s.wg.Add(1)
+		go s.ingestLoop()
+		if s.cfg.SurveyInterval > 0 {
+			s.wg.Add(1)
+			go s.surveyLoop()
+		}
+	})
+}
+
+// Close stops ingestion, drains the queue, and waits for the background
+// goroutines. Safe to call more than once. New ingests are rejected with
+// ErrStopped as soon as Close begins.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		s.stopping.Store(true)
+		close(s.quit)
+	})
+	s.wg.Wait()
+}
+
+// Sentinel ingestion errors, mapped to HTTP statuses by the API layer.
+var (
+	ErrQueueFull = fmt.Errorf("detectd: ingest queue full")
+	ErrStopped   = fmt.Errorf("detectd: service stopped")
+)
+
+// Enqueue hands a batch of interned comments to the ingest worker without
+// blocking: a full queue returns ErrQueueFull (backpressure), a stopping
+// service ErrStopped.
+func (s *Service) Enqueue(batch []graph.Comment) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if s.stopping.Load() {
+		return ErrStopped
+	}
+	select {
+	case s.queue <- batch:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Apply ingests a batch synchronously, bypassing the queue — the embedding
+// path for in-process pipelines and benchmarks. Concurrent-safe.
+func (s *Service) Apply(batch []graph.Comment) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range batch {
+		s.applyOne(c)
+	}
+}
+
+// applyOne ingests one comment. Caller holds s.mu.
+func (s *Service) applyOne(c graph.Comment) {
+	if wm := s.proj.Watermark(); c.TS < wm {
+		if !s.cfg.ClampLate {
+			s.dropped.Add(1)
+			return
+		}
+		c.TS = wm
+		s.lateClamped.Add(1)
+	}
+	if err := s.proj.Add(c); err != nil {
+		s.dropped.Add(1)
+		return
+	}
+	s.ingested.Add(1)
+	if s.cfg.ValidateHypergraph {
+		s.log = append(s.log, c)
+		s.evictLogLocked()
+	}
+}
+
+// evictLogLocked drops logged comments outside the horizon. Caller holds
+// s.mu. The log is append-ordered by (clamped) timestamp, so a front scan
+// suffices; the ring compacts when more than half is dead.
+func (s *Service) evictLogLocked() {
+	cut := s.proj.Watermark() - s.cfg.Horizon
+	for s.logStart < len(s.log) && s.log[s.logStart].TS <= cut {
+		s.logStart++
+	}
+	if s.logStart > 1024 && s.logStart*2 > len(s.log) {
+		s.log = append(s.log[:0], s.log[s.logStart:]...)
+		s.logStart = 0
+	}
+}
+
+func (s *Service) ingestLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case batch := <-s.queue:
+			s.Apply(batch)
+		case <-s.quit:
+			// Drain whatever was accepted before the stop.
+			for {
+				select {
+				case batch := <-s.queue:
+					s.Apply(batch)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Service) surveyLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.SurveyInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if _, err := s.SurveyNow(); err != nil {
+				s.surveyErrs.Add(1)
+			}
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// SurveyNow runs one survey cycle synchronously: snapshot the live CI
+// graph under a brief lock, then run the batch survey/validation on the
+// copy and publish the result. Callable concurrently with ingestion (and
+// with the background loop, though cycles then interleave arbitrarily).
+func (s *Service) SurveyNow() (*SurveyResult, error) {
+	start := time.Now()
+
+	s.mu.Lock()
+	ci := s.proj.Snapshot()
+	wm := s.proj.Watermark()
+	var windowed []graph.Comment
+	if s.cfg.ValidateHypergraph && len(s.log)-s.logStart > 0 {
+		windowed = append(windowed, s.log[s.logStart:]...)
+	}
+	s.mu.Unlock()
+
+	// Heavy lifting happens outside the lock, on the copies.
+	var btm *graph.BTM
+	if windowed != nil {
+		btm = graph.BuildBTM(windowed, 0, 0)
+	}
+	res, err := pipeline.RunOnCI(ci, btm, pipeline.Config{
+		Window:            s.cfg.Window,
+		MinEdgeWeight:     s.cfg.MinEdgeWeight,
+		MinTriangleWeight: s.cfg.MinTriangleWeight,
+		MinTScore:         s.cfg.MinTScore,
+		Ranks:             s.cfg.Ranks,
+		Sequential:        s.cfg.Sequential,
+		SkipHypergraph:    !s.cfg.ValidateHypergraph,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sr := &SurveyResult{
+		Cycle:     s.cycles.Add(1),
+		Watermark: wm,
+		TakenAt:   start,
+		Duration:  time.Since(start),
+		Edges:     ci.NumEdges(),
+		Vertices:  ci.NumVertices(),
+		Result:    res,
+	}
+	s.lastSurveyNS.Store(int64(sr.Duration))
+	s.latest.Store(sr)
+	return sr, nil
+}
+
+// Latest returns the most recently published survey (nil before the first).
+func (s *Service) Latest() *SurveyResult { return s.latest.Load() }
+
+// Ingested returns the number of comments applied to the live graph.
+func (s *Service) Ingested() int64 { return s.ingested.Load() }
+
+// Cycles returns the number of completed survey cycles.
+func (s *Service) Cycles() int64 { return s.cycles.Load() }
+
+// Snapshot of live-side gauges for the stats endpoint.
+type liveStats struct {
+	watermark    int64
+	livePairs    int64
+	evictedPairs int64
+	liveEdges    int
+	buffered     int
+	logged       int
+}
+
+func (s *Service) liveStats() liveStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return liveStats{
+		watermark:    s.proj.Watermark(),
+		livePairs:    s.proj.LivePairs(),
+		evictedPairs: s.proj.EvictedPairs(),
+		liveEdges:    s.proj.NumEdges(),
+		buffered:     s.proj.BufferedComments(),
+		logged:       len(s.log) - s.logStart,
+	}
+}
+
+// PairScore reads live pairwise state for the score endpoint: CI weight
+// between each user pair plus per-user P'.
+func (s *Service) PairScore(ids []graph.VertexID) (weights map[[2]int]uint32, pageCounts []uint32) {
+	weights = make(map[[2]int]uint32)
+	pageCounts = make([]uint32, len(ids))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range ids {
+		pageCounts[i] = s.proj.PageCount(ids[i])
+		for j := i + 1; j < len(ids); j++ {
+			if ids[i] == ids[j] {
+				continue
+			}
+			weights[[2]int{i, j}] = s.proj.EdgeWeight(ids[i], ids[j])
+		}
+	}
+	return weights, pageCounts
+}

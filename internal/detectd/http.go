@@ -1,0 +1,425 @@
+// HTTP/JSON API of the daemon:
+//
+//	POST /v1/ingest     — body: JSON array (or NDJSON stream) of
+//	                      {"author":"x","page":"p","ts":1577836800}.
+//	                      202 {"accepted":n}; 429 when the queue is full;
+//	                      503 while shutting down.
+//	GET  /v1/triangles  — latest survey cycle. ?min_t=0.5 filters on the
+//	                      T score, ?limit=50 truncates.
+//	GET  /v1/score      — ?users=a,b,c: live pairwise CI weights, P'
+//	                      counts, and for exactly three users the triangle
+//	                      min-weight and T score.
+//	GET  /v1/stats      — ingest counters, live-graph gauges, survey
+//	                      cadence, per-endpoint latency/throughput.
+//	GET  /healthz       — liveness (503 once shutdown has begun).
+package detectd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"coordbot/internal/graph"
+)
+
+// maxIngestBody bounds one ingest request (64 MiB of JSON).
+const maxIngestBody = 64 << 20
+
+// CommentIn is the wire form of one comment.
+type CommentIn struct {
+	Author string `json:"author"`
+	Page   string `json:"page"`
+	TS     int64  `json:"ts"`
+}
+
+// TriangleOut is the wire form of one surveyed triangle.
+type TriangleOut struct {
+	Authors   [3]string `json:"authors"`
+	MinWeight uint32    `json:"min_weight"`
+	T         float64   `json:"t"`
+	// WXYZ / C are the hypergraph validation (present when the daemon
+	// keeps a windowed comment log).
+	WXYZ *int     `json:"w_xyz,omitempty"`
+	C    *float64 `json:"c,omitempty"`
+}
+
+// TrianglesOut is the /v1/triangles response.
+type TrianglesOut struct {
+	Cycle      int64         `json:"cycle"`
+	Watermark  int64         `json:"watermark"`
+	TakenAt    time.Time     `json:"taken_at"`
+	DurationMS float64       `json:"duration_ms"`
+	Edges      int           `json:"snapshot_edges"`
+	Vertices   int           `json:"snapshot_vertices"`
+	Total      int           `json:"total"`
+	Triangles  []TriangleOut `json:"triangles"`
+}
+
+// StatsOut is the /v1/stats response.
+type StatsOut struct {
+	UptimeSec        float64 `json:"uptime_sec"`
+	Ingested         int64   `json:"ingested"`
+	Dropped          int64   `json:"dropped"`
+	LateClamped      int64   `json:"late_clamped"`
+	QueueDepth       int     `json:"queue_depth"`
+	QueueCap         int     `json:"queue_cap"`
+	Watermark        int64   `json:"watermark"`
+	HorizonSec       int64   `json:"horizon_sec"`
+	WindowMin        int64   `json:"window_min_sec"`
+	WindowMax        int64   `json:"window_max_sec"`
+	LiveEdges        int     `json:"live_edges"`
+	LivePairs        int64   `json:"live_pairs"`
+	EvictedPairs     int64   `json:"evicted_pairs"`
+	BufferedComments int     `json:"buffered_comments"`
+	LoggedComments   int     `json:"logged_comments"`
+	Cycles           int64   `json:"cycles"`
+	SurveyErrors     int64   `json:"survey_errors"`
+	LastSurveyMS     float64 `json:"last_survey_ms"`
+	LastTriangles    int     `json:"last_triangles"`
+
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", s.metrics.instrument("/v1/ingest", s.handleIngest))
+	mux.HandleFunc("/v1/triangles", s.metrics.instrument("/v1/triangles", s.handleTriangles))
+	mux.HandleFunc("/v1/score", s.metrics.instrument("/v1/score", s.handleScore))
+	mux.HandleFunc("/v1/stats", s.metrics.instrument("/v1/stats", s.handleStats))
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.stopping.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	batch, err := decodeComments(io.LimitReader(r.Body, maxIngestBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	interned := make([]graph.Comment, len(batch))
+	for i, c := range batch {
+		if c.Author == "" || c.Page == "" {
+			writeErr(w, http.StatusBadRequest, "comment %d: empty author or page", i)
+			return
+		}
+		interned[i] = graph.Comment{
+			Author: s.authors.Intern(c.Author),
+			Page:   s.pageIDs.Intern(c.Page),
+			TS:     c.TS,
+		}
+	}
+	switch err := s.Enqueue(interned); {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "ingest queue full")
+	case errors.Is(err, ErrStopped):
+		writeErr(w, http.StatusServiceUnavailable, "shutting down")
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(interned)})
+	}
+}
+
+// decodeComments accepts either a JSON array of comment objects or an
+// NDJSON / concatenated-objects stream.
+func decodeComments(r io.Reader) ([]CommentIn, error) {
+	dec := json.NewDecoder(r)
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	var out []CommentIn
+	if d, ok := tok.(json.Delim); ok && d == '[' {
+		for dec.More() {
+			var c CommentIn
+			if err := dec.Decode(&c); err != nil {
+				return nil, err
+			}
+			out = append(out, c)
+		}
+		_, err = dec.Token() // closing ']'
+		return out, err
+	}
+	if d, ok := tok.(json.Delim); ok && d == '{' {
+		// Re-read the first object by hand: collect its fields until the
+		// matching '}' is consumed, then stream the rest.
+		var first CommentIn
+		if err := decodeObjectFields(dec, &first); err != nil {
+			return nil, err
+		}
+		out = append(out, first)
+		for {
+			var c CommentIn
+			if err := dec.Decode(&c); err == io.EOF {
+				return out, nil
+			} else if err != nil {
+				return nil, err
+			}
+			out = append(out, c)
+		}
+	}
+	return nil, fmt.Errorf("expected array or object stream, got %v", tok)
+}
+
+// decodeObjectFields finishes decoding one comment object whose opening
+// '{' has already been consumed by the decoder.
+func decodeObjectFields(dec *json.Decoder, c *CommentIn) error {
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		key, _ := keyTok.(string)
+		switch key {
+		case "author":
+			if err := dec.Decode(&c.Author); err != nil {
+				return err
+			}
+		case "page":
+			if err := dec.Decode(&c.Page); err != nil {
+				return err
+			}
+		case "ts":
+			if err := dec.Decode(&c.TS); err != nil {
+				return err
+			}
+		default:
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := dec.Token() // closing '}'
+	return err
+}
+
+func (s *Service) handleTriangles(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	sr := s.Latest()
+	if sr == nil {
+		writeErr(w, http.StatusNotFound, "no survey has completed yet")
+		return
+	}
+	minT := 0.0
+	if v := r.URL.Query().Get("min_t"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad min_t: %v", err)
+			return
+		}
+		minT = f
+	}
+	limit := -1
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+
+	out := TrianglesOut{
+		Cycle:      sr.Cycle,
+		Watermark:  sr.Watermark,
+		TakenAt:    sr.TakenAt,
+		DurationMS: float64(sr.Duration) / 1e6,
+		Edges:      sr.Edges,
+		Vertices:   sr.Vertices,
+	}
+	hyper := !sr.Result.Config.SkipHypergraph
+	tris := sr.Result.Triangles
+	out.Total = len(tris)
+	// Strongest first: sort a copy of the index by min weight descending.
+	order := make([]int, len(tris))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := tris[order[a]], tris[order[b]]
+		if ta.MinWeight() != tb.MinWeight() {
+			return ta.MinWeight() > tb.MinWeight()
+		}
+		return ta.T > tb.T
+	})
+	for _, i := range order {
+		tr := tris[i]
+		if tr.T < minT {
+			continue
+		}
+		to := TriangleOut{
+			Authors: [3]string{
+				s.nameOf(tr.X), s.nameOf(tr.Y), s.nameOf(tr.Z),
+			},
+			MinWeight: tr.MinWeight(),
+			T:         tr.T,
+		}
+		if hyper {
+			wxyz, c := tr.Hyper.W, tr.Hyper.C
+			to.WXYZ, to.C = &wxyz, &c
+		}
+		out.Triangles = append(out.Triangles, to)
+		if limit >= 0 && len(out.Triangles) >= limit {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// nameOf maps an author ID back to its name; IDs outside the table (never
+// the case for API-fed data) render numerically.
+func (s *Service) nameOf(id graph.VertexID) string {
+	if int(id) < s.authors.Len() {
+		return s.authors.Name(id)
+	}
+	return fmt.Sprintf("#%d", id)
+}
+
+// ScoreOut is the /v1/score response.
+type ScoreOut struct {
+	Users      []string          `json:"users"`
+	Unknown    []string          `json:"unknown,omitempty"`
+	PageCounts map[string]uint32 `json:"page_counts"`
+	Pairs      []PairOut         `json:"pairs"`
+	// MinWeight / T are set for exactly three known users.
+	MinWeight *uint32  `json:"min_weight,omitempty"`
+	T         *float64 `json:"t,omitempty"`
+}
+
+// PairOut is one pairwise CI weight.
+type PairOut struct {
+	U      string `json:"u"`
+	V      string `json:"v"`
+	Weight uint32 `json:"weight"`
+}
+
+func (s *Service) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	raw := r.URL.Query().Get("users")
+	if raw == "" {
+		writeErr(w, http.StatusBadRequest, "missing users=a,b,...")
+		return
+	}
+	names := strings.Split(raw, ",")
+	if len(names) < 2 || len(names) > 64 {
+		writeErr(w, http.StatusBadRequest, "need 2..64 users, got %d", len(names))
+		return
+	}
+	out := ScoreOut{Users: names, PageCounts: make(map[string]uint32)}
+	ids := make([]graph.VertexID, len(names))
+	known := true
+	for i, n := range names {
+		id, ok := s.authors.Lookup(n)
+		if !ok {
+			out.Unknown = append(out.Unknown, n)
+			known = false
+			continue
+		}
+		ids[i] = id
+	}
+	if !known {
+		// Unknown users have no edges by definition; respond with zeros so
+		// the endpoint is total, but name the unknowns.
+		for _, n := range names {
+			out.PageCounts[n] = 0
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	weights, counts := s.PairScore(ids)
+	for i, n := range names {
+		out.PageCounts[n] = counts[i]
+	}
+	var minW uint32
+	first := true
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			wgt := weights[[2]int{i, j}]
+			out.Pairs = append(out.Pairs, PairOut{U: names[i], V: names[j], Weight: wgt})
+			if first || wgt < minW {
+				minW, first = wgt, false
+			}
+		}
+	}
+	if len(names) == 3 {
+		den := float64(counts[0]) + float64(counts[1]) + float64(counts[2])
+		t := 0.0
+		if den > 0 {
+			t = 3 * float64(minW) / den
+		}
+		out.MinWeight, out.T = &minW, &t
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	live := s.liveStats()
+	out := StatsOut{
+		UptimeSec:        time.Since(s.started).Seconds(),
+		Ingested:         s.ingested.Load(),
+		Dropped:          s.dropped.Load(),
+		LateClamped:      s.lateClamped.Load(),
+		QueueDepth:       len(s.queue),
+		QueueCap:         cap(s.queue),
+		Watermark:        live.watermark,
+		HorizonSec:       s.cfg.Horizon,
+		WindowMin:        s.cfg.Window.Min,
+		WindowMax:        s.cfg.Window.Max,
+		LiveEdges:        live.liveEdges,
+		LivePairs:        live.livePairs,
+		EvictedPairs:     live.evictedPairs,
+		BufferedComments: live.buffered,
+		LoggedComments:   live.logged,
+		Cycles:           s.cycles.Load(),
+		SurveyErrors:     s.surveyErrs.Load(),
+		LastSurveyMS:     float64(s.lastSurveyNS.Load()) / 1e6,
+		Endpoints:        s.metrics.snapshot(),
+	}
+	if sr := s.Latest(); sr != nil {
+		out.LastTriangles = len(sr.Result.Triangles)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.stopping.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,112 @@
+package detectd
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// endpointStats accumulates per-endpoint throughput and latency with
+// atomics — the hot ingest path must not serialize on a stats mutex.
+type endpointStats struct {
+	count   atomic.Int64
+	errors  atomic.Int64 // responses with status >= 400
+	totalNS atomic.Int64
+	maxNS   atomic.Int64
+}
+
+func (e *endpointStats) observe(d time.Duration, status int) {
+	e.count.Add(1)
+	if status >= 400 {
+		e.errors.Add(1)
+	}
+	ns := int64(d)
+	e.totalNS.Add(ns)
+	for {
+		cur := e.maxNS.Load()
+		if ns <= cur || e.maxNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// EndpointSnapshot is the JSON form of one endpoint's counters.
+type EndpointSnapshot struct {
+	Count   int64   `json:"count"`
+	Errors  int64   `json:"errors"`
+	AvgUS   float64 `json:"avg_us"`
+	MaxUS   float64 `json:"max_us"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+type metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*endpointStats)}
+}
+
+func (m *metrics) endpoint(name string) *endpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.endpoints[name]
+	if e == nil {
+		e = &endpointStats{}
+		m.endpoints[name] = e
+	}
+	return e
+}
+
+func (m *metrics) snapshot() map[string]EndpointSnapshot {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	stats := make([]*endpointStats, 0, len(m.endpoints))
+	for name, e := range m.endpoints {
+		names = append(names, name)
+		stats = append(stats, e)
+	}
+	m.mu.Unlock()
+
+	out := make(map[string]EndpointSnapshot, len(names))
+	for i, name := range names {
+		e := stats[i]
+		n := e.count.Load()
+		snap := EndpointSnapshot{
+			Count:   n,
+			Errors:  e.errors.Load(),
+			MaxUS:   float64(e.maxNS.Load()) / 1e3,
+			TotalMS: float64(e.totalNS.Load()) / 1e6,
+		}
+		if n > 0 {
+			snap.AvgUS = float64(e.totalNS.Load()) / float64(n) / 1e3
+		}
+		out[name] = snap
+	}
+	return out
+}
+
+// statusRecorder captures the response status for the metrics middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with latency/throughput accounting under the
+// given endpoint name.
+func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	e := m.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		e.observe(time.Since(start), rec.status)
+	}
+}

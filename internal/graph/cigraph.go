@@ -56,6 +56,57 @@ func (g *CIGraph) AddPageCount(u VertexID, n uint32) {
 	g.pageCounts[u] += n
 }
 
+// SubEdgeWeight subtracts w from the weight of undirected edge {u,v},
+// deleting the edge when it reaches zero. This is the eviction primitive of
+// the sliding-window projector: a page's aged-out pair contribution is
+// withdrawn so the graph never carries zero-weight edges (keeping Equal
+// comparisons against fresh batch projections exact). It panics on
+// underflow — withdrawing more weight than was contributed is a logic bug
+// in the caller's bookkeeping, not a recoverable condition.
+func (g *CIGraph) SubEdgeWeight(u, v VertexID, w uint32) {
+	key := PackEdge(u, v)
+	cur, ok := g.edges[key]
+	if !ok || cur < w {
+		panic(fmt.Sprintf("graph: edge {%d,%d} weight underflow (%d - %d)", u, v, cur, w))
+	}
+	if cur == w {
+		delete(g.edges, key)
+	} else {
+		g.edges[key] = cur - w
+	}
+}
+
+// SubPageCount subtracts n from P'_u, deleting the entry at zero. Panics on
+// underflow (see SubEdgeWeight).
+func (g *CIGraph) SubPageCount(u VertexID, n uint32) {
+	cur, ok := g.pageCounts[u]
+	if !ok || cur < n {
+		panic(fmt.Sprintf("graph: author %d page count underflow (%d - %d)", u, cur, n))
+	}
+	if cur == n {
+		delete(g.pageCounts, u)
+	} else {
+		g.pageCounts[u] = cur - n
+	}
+}
+
+// Clone returns a deep copy of the graph. The copy shares nothing with the
+// original, so a live accumulator can be snapshotted under a brief lock and
+// surveyed concurrently while ingestion continues to mutate the original.
+func (g *CIGraph) Clone() *CIGraph {
+	out := &CIGraph{
+		edges:      make(map[uint64]uint32, len(g.edges)),
+		pageCounts: make(map[VertexID]uint32, len(g.pageCounts)),
+	}
+	for key, w := range g.edges {
+		out.edges[key] = w
+	}
+	for k, v := range g.pageCounts {
+		out.pageCounts[k] = v
+	}
+	return out
+}
+
 // Weight returns w'_uv (0 if the edge is absent).
 func (g *CIGraph) Weight(u, v VertexID) uint32 {
 	if u == v {

@@ -64,6 +64,64 @@ func TestCIGraphThreshold(t *testing.T) {
 	}
 }
 
+func TestCIGraphSubEdgeWeight(t *testing.T) {
+	g := NewCIGraph()
+	g.AddEdgeWeight(1, 2, 3)
+	g.SubEdgeWeight(2, 1, 1) // symmetric withdrawal
+	if got := g.Weight(1, 2); got != 2 {
+		t.Fatalf("Weight(1,2) = %d after -1, want 2", got)
+	}
+	g.SubEdgeWeight(1, 2, 2)
+	if g.NumEdges() != 0 {
+		t.Fatal("edge at zero weight must be deleted, not retained")
+	}
+	// A decremented-to-zero graph equals a fresh one (the sliding-window
+	// equivalence property depends on this).
+	if !g.Equal(NewCIGraph()) {
+		t.Fatal("fully withdrawn graph != empty graph")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("underflow did not panic")
+		}
+	}()
+	g.SubEdgeWeight(1, 2, 1)
+}
+
+func TestCIGraphSubPageCount(t *testing.T) {
+	g := NewCIGraph()
+	g.AddPageCount(7, 2)
+	g.SubPageCount(7, 1)
+	if g.PageCount(7) != 1 {
+		t.Fatal("page count decrement wrong")
+	}
+	g.SubPageCount(7, 1)
+	if len(g.PageCounts()) != 0 {
+		t.Fatal("page count at zero must be deleted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("underflow did not panic")
+		}
+	}()
+	g.SubPageCount(7, 1)
+}
+
+func TestCIGraphClone(t *testing.T) {
+	g := NewCIGraph()
+	g.AddEdgeWeight(1, 2, 3)
+	g.AddPageCount(1, 4)
+	c := g.Clone()
+	if !c.Equal(g) {
+		t.Fatal("clone differs from original")
+	}
+	g.AddEdgeWeight(1, 2, 1)
+	g.AddPageCount(2, 1)
+	if c.Weight(1, 2) != 3 || c.PageCount(2) != 0 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
 func TestCIGraphMerge(t *testing.T) {
 	a, b := NewCIGraph(), NewCIGraph()
 	a.AddEdgeWeight(1, 2, 3)

@@ -111,9 +111,36 @@ func Run(b *graph.BTM, cfg Config) (*Result, error) {
 	}
 	res.CI = ci
 	res.Timings.Project = time.Since(t0)
+	finish(res, b, cfg)
+	return res, nil
+}
+
+// RunOnCI executes Steps 2–3 (triangle survey, hypergraph validation) and
+// the component census on an already-projected CI graph — the entry point
+// for snapshot surveys: a streaming projector hands over a copy of its live
+// graph and the batch machinery runs on it unchanged. b is the bipartite
+// multigraph the validation checks against (for a sliding window, a BTM of
+// just the trailing-horizon comments); it may be nil, which skips Step 3 as
+// if cfg.SkipHypergraph were set. cfg.Window is recorded but not re-applied
+// — the graph is taken as projected.
+func RunOnCI(ci *graph.CIGraph, b *graph.BTM, cfg Config) (*Result, error) {
+	if ci == nil {
+		return nil, fmt.Errorf("pipeline: RunOnCI on nil CI graph")
+	}
+	if b == nil {
+		cfg.SkipHypergraph = true
+	}
+	res := &Result{Config: cfg, CI: ci}
+	finish(res, b, cfg)
+	return res, nil
+}
+
+// finish runs Steps 2–4 (survey, validation, components) on res.CI.
+func finish(res *Result, b *graph.BTM, cfg Config) {
+	ci := res.CI
 
 	// Step 2: triangle survey.
-	t0 = time.Now()
+	t0 := time.Now()
 	sopts := tripoll.Options{
 		MinEdgeWeight:     cfg.MinEdgeWeight,
 		MinTriangleWeight: cfg.MinTriangleWeight,
@@ -172,7 +199,6 @@ func Run(b *graph.BTM, cfg Config) (*Result, error) {
 	res.Thresholded = ci.Threshold(cut)
 	res.Components = graph.ConnectedComponents(res.Thresholded)
 	res.Timings.Component = time.Since(t0)
-	return res, nil
 }
 
 // FlaggedAuthors returns the union of authors appearing in surviving

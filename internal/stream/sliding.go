@@ -1,0 +1,320 @@
+// Sliding-window projection: the eviction-capable extension of Projector
+// that detectd runs on. Where Projector accumulates CI edges forever (the
+// batch semantics of Algorithm 1), SlidingProjector maintains the CI graph
+// of only the trailing horizon of event time: a pair contribution whose
+// supporting comments have all aged past the horizon is decremented back
+// out, and the per-author page counts P' shrink with it.
+//
+// The invariant (property-tested in sliding_test.go) is
+//
+//	Snapshot() == projection.ProjectSequential(BTM of comments with
+//	              TS > Watermark()-horizon, window)
+//
+// at every point in the stream — the live graph is always exactly the batch
+// projection of the trailing window, so everything downstream (tripoll,
+// hypergraph, thresholds, scores) keeps its batch-mode meaning.
+//
+// Mechanics: per page, live[pair] records the newest "older comment"
+// timestamp supporting that pair; the pair's contribution dies when that
+// timestamp leaves the horizon. A global lazy min-heap of (timestamp, page,
+// pair) entries drives eviction in O(log n) amortized per support, with
+// stale entries (superseded by a fresher support) skipped on pop.
+package stream
+
+import (
+	"container/heap"
+	"fmt"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/projection"
+)
+
+// SlidingProjector maintains the CI graph of the trailing horizon of a
+// time-ordered comment stream. Create with NewSlidingProjector; feed with
+// Add (or advance idle time with AdvanceTo); read with Snapshot; finalize
+// with Result. Not safe for concurrent use — wrap with a lock (detectd
+// does) or shard by page upstream.
+type SlidingProjector struct {
+	w       projection.Window
+	horizon int64
+	opts    projection.Options
+
+	g     *graph.CIGraph
+	pages map[graph.VertexID]*slidingPage
+	exp   expiryHeap
+	// idle schedules page-state GC: a page whose newest comment has left
+	// the pairing window and that holds no live pairs is dropped, so quiet
+	// pages cost nothing (key is unused in idle entries).
+	idle expiryHeap
+
+	lastTS   int64
+	started  bool
+	finished bool
+	count    int64
+	live     int64
+	evicted  int64
+}
+
+type slidingPage struct {
+	// buf/start: the trailing-δ2 comment ring, as in Projector.
+	buf   []graph.AuthorTime
+	start int
+	// live maps a counted pair key to the newest older-comment timestamp
+	// supporting it; the contribution expires when that timestamp ages out.
+	live map[uint64]int64
+	// incident counts, per author, the live pairs touching it on this
+	// page; the author's P' contribution for the page lives while > 0.
+	incident map[graph.VertexID]int
+	// lastTS is the page's newest comment timestamp (GC staleness check).
+	lastTS int64
+}
+
+// expiryEntry schedules one support for lazy expiry at oldTS + horizon.
+type expiryEntry struct {
+	oldTS int64
+	page  graph.VertexID
+	key   uint64
+}
+
+type expiryHeap []expiryEntry
+
+func (h expiryHeap) Len() int           { return len(h) }
+func (h expiryHeap) Less(i, j int) bool { return h[i].oldTS < h[j].oldTS }
+func (h expiryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x any)        { *h = append(*h, x.(expiryEntry)) }
+func (h *expiryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewSlidingProjector creates a sliding projector for window w over a
+// trailing horizon of event-time seconds. The horizon may be shorter than
+// w.Max (pairs then simply never outlive their own delay span), but must be
+// positive.
+func NewSlidingProjector(w projection.Window, horizon int64, opts projection.Options) (*SlidingProjector, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("stream: non-positive horizon %d", horizon)
+	}
+	return &SlidingProjector{
+		w:       w,
+		horizon: horizon,
+		opts:    opts,
+		g:       graph.NewCIGraph(),
+		pages:   make(map[graph.VertexID]*slidingPage),
+	}, nil
+}
+
+// Count returns the number of comments consumed.
+func (p *SlidingProjector) Count() int64 { return p.count }
+
+// Watermark returns the event time the projector has advanced to (the
+// largest timestamp seen by Add/AdvanceTo; 0 before the first).
+func (p *SlidingProjector) Watermark() int64 { return p.lastTS }
+
+// LivePairs returns the number of (page, pair) contributions currently in
+// the graph; EvictedPairs the cumulative number aged out.
+func (p *SlidingProjector) LivePairs() int64    { return p.live }
+func (p *SlidingProjector) EvictedPairs() int64 { return p.evicted }
+
+// Horizon returns the configured trailing horizon in seconds.
+func (p *SlidingProjector) Horizon() int64 { return p.horizon }
+
+// EdgeWeight reads the live CI weight w'_uv (0 if absent or u==v).
+func (p *SlidingProjector) EdgeWeight(u, v graph.VertexID) uint32 { return p.g.Weight(u, v) }
+
+// PageCount reads the live P'_u.
+func (p *SlidingProjector) PageCount(u graph.VertexID) uint32 { return p.g.PageCount(u) }
+
+// NumEdges returns the live CI edge count.
+func (p *SlidingProjector) NumEdges() int { return p.g.NumEdges() }
+
+func (p *SlidingProjector) skip(a graph.VertexID) bool {
+	if p.opts.Exclude[a] {
+		return true
+	}
+	return p.opts.Restrict != nil && !p.opts.Restrict[a]
+}
+
+// Add consumes one comment. Comments must arrive in nondecreasing global
+// timestamp order; Add returns an error otherwise, and ErrAddAfterResult
+// once Result has been called.
+func (p *SlidingProjector) Add(c graph.Comment) error {
+	if p.finished {
+		return ErrAddAfterResult
+	}
+	if p.started && c.TS < p.lastTS {
+		return fmt.Errorf("stream: out-of-order comment at t=%d after t=%d", c.TS, p.lastTS)
+	}
+	p.started = true
+	p.lastTS = c.TS
+	p.count++
+	p.evictExpired(c.TS - p.horizon)
+
+	if p.skip(c.Author) {
+		return nil
+	}
+	ps := p.pages[c.Page]
+	if ps == nil {
+		ps = &slidingPage{
+			live:     make(map[uint64]int64),
+			incident: make(map[graph.VertexID]int),
+		}
+		p.pages[c.Page] = ps
+	}
+
+	// Evict buffered comments that can no longer pair: t_new - t_old < w.Max.
+	for ps.start < len(ps.buf) && c.TS-ps.buf[ps.start].TS >= p.w.Max {
+		ps.start++
+	}
+	if ps.start > 64 && ps.start*2 > len(ps.buf) {
+		ps.buf = append(ps.buf[:0], ps.buf[ps.start:]...)
+		ps.start = 0
+	}
+
+	for i := ps.start; i < len(ps.buf); i++ {
+		old := ps.buf[i]
+		d := c.TS - old.TS
+		if d < p.w.Min || old.Author == c.Author {
+			continue
+		}
+		if d >= p.horizon {
+			// Support already outside the horizon (horizon < w.Max):
+			// counting it would create a contribution born dead.
+			continue
+		}
+		key := graph.PackEdge(old.Author, c.Author)
+		if prev, ok := ps.live[key]; ok {
+			// Pair already counted for this page: refresh its lease.
+			if old.TS > prev {
+				ps.live[key] = old.TS
+				heap.Push(&p.exp, expiryEntry{oldTS: old.TS, page: c.Page, key: key})
+			}
+			continue
+		}
+		ps.live[key] = old.TS
+		heap.Push(&p.exp, expiryEntry{oldTS: old.TS, page: c.Page, key: key})
+		p.g.AddEdgeWeight(old.Author, c.Author, 1)
+		p.live++
+		for _, a := range [2]graph.VertexID{old.Author, c.Author} {
+			if ps.incident[a] == 0 {
+				p.g.AddPageCount(a, 1)
+			}
+			ps.incident[a]++
+		}
+	}
+	ps.buf = append(ps.buf, graph.AuthorTime{Author: c.Author, TS: c.TS})
+	if ps.lastTS < c.TS || len(ps.buf) == 1 {
+		heap.Push(&p.idle, expiryEntry{oldTS: c.TS, page: c.Page})
+	}
+	ps.lastTS = c.TS
+	return nil
+}
+
+// AddAll consumes a time-ordered batch.
+func (p *SlidingProjector) AddAll(comments []graph.Comment) error {
+	for _, c := range comments {
+		if err := p.Add(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AdvanceTo moves event time forward to ts without ingesting a comment,
+// evicting everything that ages out — the idle-stream path: a quiet topic
+// must still decay. ts earlier than the watermark is an error (a no-op
+// advance to the current watermark is fine).
+func (p *SlidingProjector) AdvanceTo(ts int64) error {
+	if p.finished {
+		return ErrAddAfterResult
+	}
+	if p.started && ts < p.lastTS {
+		return fmt.Errorf("stream: AdvanceTo(%d) behind watermark %d", ts, p.lastTS)
+	}
+	p.started = true
+	p.lastTS = ts
+	p.evictExpired(ts - p.horizon)
+	return nil
+}
+
+// evictExpired withdraws every contribution whose newest support has
+// timestamp <= cutoff. Heap entries superseded by a fresher support are
+// recognized (stored timestamp mismatch) and skipped.
+func (p *SlidingProjector) evictExpired(cutoff int64) {
+	for len(p.exp) > 0 && p.exp[0].oldTS <= cutoff {
+		e := heap.Pop(&p.exp).(expiryEntry)
+		ps := p.pages[e.page]
+		if ps == nil {
+			continue
+		}
+		ts, ok := ps.live[e.key]
+		if !ok || ts != e.oldTS {
+			continue // stale entry: refreshed or already gone
+		}
+		delete(ps.live, e.key)
+		u, v := graph.UnpackEdge(e.key)
+		p.g.SubEdgeWeight(u, v, 1)
+		p.live--
+		p.evicted++
+		for _, a := range [2]graph.VertexID{u, v} {
+			ps.incident[a]--
+			if ps.incident[a] == 0 {
+				delete(ps.incident, a)
+				p.g.SubPageCount(a, 1)
+			}
+		}
+		// Buffered comments older than w.Max behind the watermark can
+		// never pair again; once none remain and no pair is live, the
+		// page state is dead.
+		for ps.start < len(ps.buf) && p.lastTS-ps.buf[ps.start].TS >= p.w.Max {
+			ps.start++
+		}
+		if len(ps.live) == 0 && ps.start >= len(ps.buf) {
+			delete(p.pages, e.page)
+		}
+	}
+
+	// Idle-page GC: pages whose newest comment left the pairing window and
+	// that carry no live pairs (single-commenter pages, or pages whose
+	// pairs all expired first) are dropped here; pages still holding live
+	// pairs are left for the pair path above.
+	gcCut := p.lastTS - p.w.Max
+	for len(p.idle) > 0 && p.idle[0].oldTS <= gcCut {
+		e := heap.Pop(&p.idle).(expiryEntry)
+		ps := p.pages[e.page]
+		if ps == nil || ps.lastTS != e.oldTS {
+			continue // stale: page gone or newer activity
+		}
+		if len(ps.live) == 0 {
+			delete(p.pages, e.page)
+		}
+	}
+}
+
+// Snapshot returns a deep copy of the current trailing-window CI graph.
+// The copy is independent: surveys run on it while ingestion continues.
+func (p *SlidingProjector) Snapshot() *graph.CIGraph { return p.g.Clone() }
+
+// Result finalizes and returns the live CI graph (no copy). The projector
+// must not be used afterwards; Add and AdvanceTo return ErrAddAfterResult.
+func (p *SlidingProjector) Result() *graph.CIGraph {
+	p.finished = true
+	p.pages = nil
+	p.exp = nil
+	return p.g
+}
+
+// BufferedComments reports the transient δ2 buffer size across pages.
+func (p *SlidingProjector) BufferedComments() int {
+	n := 0
+	for _, ps := range p.pages {
+		n += len(ps.buf) - ps.start
+	}
+	return n
+}

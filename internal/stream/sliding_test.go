@@ -1,0 +1,263 @@
+package stream
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/projection"
+	"coordbot/internal/redditgen"
+)
+
+// restrictedBatch projects, with the batch reference implementation, only
+// the comments still inside the horizon at watermark: TS > watermark-H.
+func restrictedBatch(t *testing.T, comments []graph.Comment, w projection.Window, watermark, horizon int64) *graph.CIGraph {
+	t.Helper()
+	var kept []graph.Comment
+	for _, c := range comments {
+		if c.TS > watermark-horizon {
+			kept = append(kept, c)
+		}
+	}
+	b := graph.BuildBTM(kept, 0, 0)
+	g, err := projection.ProjectSequential(b, w, projection.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSlidingMatchesBatchRestricted is the tentpole property: at every
+// checkpoint of a realistic stream, the sliding projector's live graph
+// equals the batch projection of exactly the trailing-horizon comments.
+func TestSlidingMatchesBatchRestricted(t *testing.T) {
+	ds := redditgen.Generate(redditgen.Config{
+		Seed:  42,
+		Start: 0,
+		End:   4 * 24 * 3600,
+		Organic: redditgen.OrganicConfig{
+			Authors: 300, Pages: 120, Comments: 8000,
+			PageHalfLife: 2 * 3600, DeletedFraction: 0.02,
+		},
+		Botnets: []redditgen.BotnetSpec{{
+			Kind: redditgen.SockpuppetChain, Name: "pups",
+			Bots: 4, Pages: 30, SubsetSize: 3,
+			MinDelay: 5, MaxDelay: 40,
+		}},
+		AutoModerator: true,
+	})
+	for _, tc := range []struct {
+		name    string
+		w       projection.Window
+		horizon int64
+	}{
+		{"short-window-6h-horizon", projection.Window{Min: 0, Max: 60}, 6 * 3600},
+		{"min-delay-window", projection.Window{Min: 10, Max: 300}, 12 * 3600},
+		{"horizon-shorter-than-window", projection.Window{Min: 0, Max: 3600}, 600},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewSlidingProjector(tc.w, tc.horizon, projection.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			step := len(ds.Comments) / 7
+			for i, c := range ds.Comments {
+				if err := p.Add(c); err != nil {
+					t.Fatal(err)
+				}
+				if i%step == step-1 {
+					want := restrictedBatch(t, ds.Comments[:i+1], tc.w, p.Watermark(), tc.horizon)
+					got := p.Snapshot()
+					if !got.Equal(want) {
+						t.Fatalf("checkpoint %d (watermark %d): sliding graph (%d edges) != batch restricted (%d edges)",
+							i, p.Watermark(), got.NumEdges(), want.NumEdges())
+					}
+				}
+			}
+			// Drain: advance far past the horizon; everything must decay.
+			if err := p.AdvanceTo(p.Watermark() + tc.horizon + 1); err != nil {
+				t.Fatal(err)
+			}
+			if n := p.Snapshot().NumEdges(); n != 0 {
+				t.Fatalf("graph not empty after full decay: %d edges", n)
+			}
+			if p.LivePairs() != 0 {
+				t.Fatalf("live pairs not zero after decay: %d", p.LivePairs())
+			}
+		})
+	}
+}
+
+// TestSlidingMatchesBatchRandomStream fuzzes the equivalence with bursty
+// random traffic (many same-timestamp collisions, repeated authors).
+func TestSlidingMatchesBatchRandomStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := projection.Window{Min: 0, Max: 50}
+	const horizon = 400
+	p, err := NewSlidingProjector(w, horizon, projection.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []graph.Comment
+	ts := int64(0)
+	for i := 0; i < 6000; i++ {
+		ts += rng.Int63n(4) // frequent duplicates, slow advance
+		c := graph.Comment{
+			Author: graph.VertexID(rng.Intn(25)),
+			Page:   graph.VertexID(rng.Intn(12)),
+			TS:     ts,
+		}
+		all = append(all, c)
+		if err := p.Add(c); err != nil {
+			t.Fatal(err)
+		}
+		if i%997 == 0 {
+			want := restrictedBatch(t, all, w, p.Watermark(), horizon)
+			if !p.Snapshot().Equal(want) {
+				t.Fatalf("divergence at comment %d (watermark %d)", i, p.Watermark())
+			}
+		}
+	}
+	want := restrictedBatch(t, all, w, p.Watermark(), horizon)
+	if !p.Snapshot().Equal(want) {
+		t.Fatal("final divergence")
+	}
+}
+
+func TestSlidingEvictionDropsAndRestores(t *testing.T) {
+	w := projection.Window{Min: 0, Max: 60}
+	p, err := NewSlidingProjector(w, 1000, projection.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair {1,2} on page 0 at t≈0.
+	mustAdd(t, p, graph.Comment{Author: 1, Page: 0, TS: 0})
+	mustAdd(t, p, graph.Comment{Author: 2, Page: 0, TS: 10})
+	if p.EdgeWeight(1, 2) != 1 || p.PageCount(1) != 1 {
+		t.Fatal("pair not counted")
+	}
+	// Refresh the pair on the same page at t≈500: weight must stay 1
+	// (once per page) but the lease extends.
+	mustAdd(t, p, graph.Comment{Author: 1, Page: 0, TS: 500})
+	mustAdd(t, p, graph.Comment{Author: 2, Page: 0, TS: 510})
+	if p.EdgeWeight(1, 2) != 1 {
+		t.Fatalf("weight = %d after refresh, want 1", p.EdgeWeight(1, 2))
+	}
+	// t=1005: the t=0 support is out of horizon, the t=500 one is not.
+	if err := p.AdvanceTo(1005); err != nil {
+		t.Fatal(err)
+	}
+	if p.EdgeWeight(1, 2) != 1 {
+		t.Fatal("refreshed pair evicted too early")
+	}
+	// t=1501: the t=500 support ages out too.
+	if err := p.AdvanceTo(1501); err != nil {
+		t.Fatal(err)
+	}
+	if p.EdgeWeight(1, 2) != 0 {
+		t.Fatal("pair survived past its horizon")
+	}
+	if p.PageCount(1) != 0 || p.PageCount(2) != 0 {
+		t.Fatal("page counts not withdrawn with the pair")
+	}
+	if p.EvictedPairs() != 1 {
+		t.Fatalf("evicted = %d, want 1", p.EvictedPairs())
+	}
+	// The pair can be counted again by fresh activity.
+	mustAdd(t, p, graph.Comment{Author: 1, Page: 0, TS: 2000})
+	mustAdd(t, p, graph.Comment{Author: 2, Page: 0, TS: 2010})
+	if p.EdgeWeight(1, 2) != 1 {
+		t.Fatal("pair not recounted after eviction")
+	}
+}
+
+func TestSlidingPageStateGC(t *testing.T) {
+	w := projection.Window{Min: 0, Max: 60}
+	p, err := NewSlidingProjector(w, 300, projection.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 single-commenter pages (never pair) plus one paired page.
+	for i := 0; i < 200; i++ {
+		mustAdd(t, p, graph.Comment{Author: graph.VertexID(i), Page: graph.VertexID(i), TS: int64(i)})
+	}
+	mustAdd(t, p, graph.Comment{Author: 500, Page: 500, TS: 200})
+	mustAdd(t, p, graph.Comment{Author: 501, Page: 500, TS: 210})
+	if err := p.AdvanceTo(5000); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(p.pages); n != 0 {
+		t.Fatalf("%d page states leaked after decay", n)
+	}
+	if p.BufferedComments() != 0 {
+		t.Fatalf("buffered = %d after decay", p.BufferedComments())
+	}
+}
+
+func TestSlidingAddAfterResult(t *testing.T) {
+	p, _ := NewSlidingProjector(projection.Window{Min: 0, Max: 60}, 100, projection.Options{})
+	_ = p.Result()
+	if err := p.Add(graph.Comment{}); !errors.Is(err, ErrAddAfterResult) {
+		t.Fatalf("Add after Result: got %v, want ErrAddAfterResult", err)
+	}
+	if err := p.AdvanceTo(10); !errors.Is(err, ErrAddAfterResult) {
+		t.Fatalf("AdvanceTo after Result: got %v, want ErrAddAfterResult", err)
+	}
+}
+
+func TestSlidingRejectsOutOfOrder(t *testing.T) {
+	p, _ := NewSlidingProjector(projection.Window{Min: 0, Max: 60}, 100, projection.Options{})
+	mustAdd(t, p, graph.Comment{Author: 1, Page: 0, TS: 50})
+	if err := p.Add(graph.Comment{Author: 2, Page: 0, TS: 49}); err == nil {
+		t.Fatal("out-of-order Add accepted")
+	}
+	if err := p.AdvanceTo(10); err == nil {
+		t.Fatal("backwards AdvanceTo accepted")
+	}
+	if err := p.AdvanceTo(50); err != nil {
+		t.Fatalf("no-op AdvanceTo rejected: %v", err)
+	}
+}
+
+func TestSlidingRejectsBadConfig(t *testing.T) {
+	if _, err := NewSlidingProjector(projection.Window{Min: 5, Max: 5}, 100, projection.Options{}); err == nil {
+		t.Fatal("bad window accepted")
+	}
+	if _, err := NewSlidingProjector(projection.Window{Min: 0, Max: 60}, 0, projection.Options{}); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestSlidingSnapshotIsolation(t *testing.T) {
+	p, _ := NewSlidingProjector(projection.Window{Min: 0, Max: 60}, 1000, projection.Options{})
+	mustAdd(t, p, graph.Comment{Author: 1, Page: 0, TS: 0})
+	mustAdd(t, p, graph.Comment{Author: 2, Page: 0, TS: 10})
+	snap := p.Snapshot()
+	mustAdd(t, p, graph.Comment{Author: 3, Page: 0, TS: 20})
+	if snap.NumEdges() != 1 {
+		t.Fatalf("snapshot mutated: %d edges", snap.NumEdges())
+	}
+	if p.NumEdges() != 3 {
+		t.Fatalf("live graph = %d edges, want 3", p.NumEdges())
+	}
+}
+
+// TestSlidingExcludeRestrict checks Options scoping carries over.
+func TestSlidingExcludeRestrict(t *testing.T) {
+	opts := projection.Options{Exclude: map[graph.VertexID]bool{9: true}}
+	p, _ := NewSlidingProjector(projection.Window{Min: 0, Max: 60}, 1000, opts)
+	mustAdd(t, p, graph.Comment{Author: 9, Page: 0, TS: 0})
+	mustAdd(t, p, graph.Comment{Author: 1, Page: 0, TS: 5})
+	mustAdd(t, p, graph.Comment{Author: 2, Page: 0, TS: 10})
+	if p.EdgeWeight(9, 1) != 0 || p.EdgeWeight(1, 2) != 1 {
+		t.Fatal("Exclude not honored by sliding projector")
+	}
+}
+
+func mustAdd(t *testing.T, p *SlidingProjector, c graph.Comment) {
+	t.Helper()
+	if err := p.Add(c); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,11 +18,18 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 
 	"coordbot/internal/graph"
 	"coordbot/internal/projection"
 )
+
+// ErrAddAfterResult is returned by Add (on both Projector and
+// SlidingProjector) once Result has finalized the accumulator. A daemon
+// restart path that keeps a stale handle must see a hard error rather than
+// silently corrupting — or silently dropping into — a finished graph.
+var ErrAddAfterResult = errors.New("stream: Add after Result")
 
 // Projector incrementally builds a CI graph from a time-ordered comment
 // stream. Create with NewProjector; feed with Add; finish with Result.
@@ -81,7 +88,7 @@ func (p *Projector) skip(a graph.VertexID) bool {
 // Result is an error.
 func (p *Projector) Add(c graph.Comment) error {
 	if p.finished {
-		return fmt.Errorf("stream: Add after Result")
+		return ErrAddAfterResult
 	}
 	if p.started && c.TS < p.lastTS {
 		return fmt.Errorf("stream: out-of-order comment at t=%d after t=%d", c.TS, p.lastTS)

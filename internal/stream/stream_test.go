@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -86,8 +87,13 @@ func TestStreamRejectsOutOfOrder(t *testing.T) {
 func TestStreamAddAfterResult(t *testing.T) {
 	p, _ := NewProjector(projection.Window{Min: 0, Max: 60}, projection.Options{})
 	_ = p.Result()
-	if err := p.Add(graph.Comment{}); err == nil {
-		t.Fatal("Add after Result accepted")
+	if err := p.Add(graph.Comment{}); !errors.Is(err, ErrAddAfterResult) {
+		t.Fatalf("Add after Result: got %v, want ErrAddAfterResult", err)
+	}
+	// Batch ingestion must refuse through the same guard: a restart path
+	// that re-feeds a finalized accumulator cannot silently corrupt it.
+	if err := p.AddAll([]graph.Comment{{Author: 1, Page: 0, TS: 5}}); !errors.Is(err, ErrAddAfterResult) {
+		t.Fatalf("AddAll after Result: got %v, want ErrAddAfterResult", err)
 	}
 }
 

@@ -9,9 +9,12 @@ package coordbot_test
 // and read the per-size ns/op series.
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
 
+	"coordbot/internal/detectd"
 	"coordbot/internal/graph"
 	"coordbot/internal/projection"
 	"coordbot/internal/redditgen"
@@ -162,4 +165,118 @@ func BenchmarkScalingComponents(b *testing.B) {
 			graph.ConnectedComponentsParallel(pruned, 0)
 		}
 	})
+}
+
+// --- daemon benchmarks -------------------------------------------------
+//
+// Sustained ingest throughput and survey latency of the detectd service:
+// the two numbers that decide whether the daemon keeps up with a live
+// feed. The corpus spans 14 days but the horizon is 6 hours, so the
+// sliding projector is constantly evicting — the steady-state regime.
+
+const detectdBenchComments = 80000
+
+func detectdBenchConfig(validate bool) detectd.Config {
+	return detectd.Config{
+		Window:             projection.Window{Min: 0, Max: 60},
+		Horizon:            6 * 3600,
+		MinTriangleWeight:  3,
+		ValidateHypergraph: validate,
+		ClampLate:          true,
+	}
+}
+
+// detectdBatches slices the corpus into ingest-sized batches.
+func detectdBatches(d *redditgen.Dataset) [][]graph.Comment {
+	const size = 512
+	var out [][]graph.Comment
+	for lo := 0; lo < len(d.Comments); lo += size {
+		hi := lo + size
+		if hi > len(d.Comments) {
+			hi = len(d.Comments)
+		}
+		out = append(out, d.Comments[lo:hi])
+	}
+	return out
+}
+
+func BenchmarkDetectdIngest(b *testing.B) {
+	d := corpusOf(detectdBenchComments)
+	batches := detectdBatches(d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := detectd.NewService(detectdBenchConfig(false))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range batches {
+			s.Apply(batch)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(d.Comments)*b.N)/b.Elapsed().Seconds(), "comments/s")
+}
+
+func BenchmarkDetectdSurvey(b *testing.B) {
+	d := corpusOf(detectdBenchComments)
+	s, err := detectd.NewService(detectdBenchConfig(true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range detectdBatches(d) {
+		s.Apply(batch)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SurveyNow(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWriteDetectdBench records the daemon benchmarks to the JSON file
+// named by BENCH_DETECTD_OUT (skipped otherwise):
+//
+//	BENCH_DETECTD_OUT=BENCH_detectd.json go test -run TestWriteDetectdBench .
+func TestWriteDetectdBench(t *testing.T) {
+	out := os.Getenv("BENCH_DETECTD_OUT")
+	if out == "" {
+		t.Skip("set BENCH_DETECTD_OUT=<path> to record the daemon benchmark")
+	}
+	ingest := testing.Benchmark(BenchmarkDetectdIngest)
+	survey := testing.Benchmark(BenchmarkDetectdSurvey)
+	report := map[string]any{
+		"benchmark": "detectd",
+		"corpus": map[string]any{
+			"comments":    detectdBenchComments,
+			"span_days":   14,
+			"horizon_sec": 6 * 3600,
+			"window_sec":  60,
+		},
+		"ingest": map[string]any{
+			"comments_per_sec": ingest.Extra["comments/s"],
+			"ns_per_pass":      ingest.NsPerOp(),
+			"passes":           ingest.N,
+			"allocs_per_pass":  ingest.AllocsPerOp(),
+		},
+		"survey": map[string]any{
+			"latency_ms":      float64(survey.NsPerOp()) / 1e6,
+			"cycles":          survey.N,
+			"allocs_per_op":   survey.AllocsPerOp(),
+			"hypergraph":      true,
+			"min_tri_weight":  3,
+			"validate_window": true,
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ingest %.0f comments/s, survey %.2f ms/cycle -> %s",
+		ingest.Extra["comments/s"], float64(survey.NsPerOp())/1e6, out)
 }
