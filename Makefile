@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check vet test test-race bench experiments examples clean
+.PHONY: all build check vet test test-race bench fuzz experiments examples clean
 
 all: build check
 
@@ -21,6 +21,13 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Short fuzz of the edge-key codec and the sharded-vs-map adjacency
+# equivalence (seed corpora also run under plain `make test`).
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test ./internal/graph/ -fuzz FuzzPackEdge -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/graph/ -fuzz FuzzBuildAdjacency -fuzztime $(FUZZTIME)
 
 # Captures for the repo-root result files.
 test-output:

@@ -1,0 +1,224 @@
+package coordbot_test
+
+// Sharded-store benchmarks: what the copy-on-write snapshot buys over the
+// map-backed deep clone, and what the owner-computes shard merge buys over
+// the serial projection gather. Record with
+//
+//	BENCH_CIGRAPH_OUT=BENCH_cigraph.json go test -run TestWriteCIGraphBench .
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/projection"
+)
+
+const cigraphBenchComments = 80000
+
+// benchProjection builds the 80k-comment CI graph in both representations.
+func benchProjection(b *testing.B) (*graph.CIGraph, *graph.ShardedCI) {
+	b.Helper()
+	d := corpusOf(cigraphBenchComments)
+	w := projection.Window{Min: 0, Max: 600}
+	opts := projection.Options{Exclude: d.Helpers}
+	ref, err := projection.ProjectSequential(d.BTM(), w, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh, err := projection.ProjectSharded(d.BTM(), w, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ref, sh
+}
+
+// BenchmarkSnapshotClone is the old regime: every survey cycle deep-copies
+// the entire edge and page-count maps — O(E) with E ≈ a quarter million.
+func BenchmarkSnapshotClone(b *testing.B) {
+	ref, _ := benchProjection(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref.Clone()
+	}
+	b.ReportMetric(float64(ref.NumEdges()), "edges")
+}
+
+// BenchmarkSnapshotCOW is the new regime. idle: nothing mutates between
+// snapshots, so each one only grabs shard references — O(shards) however
+// large the graph. hot: a burst of edge writes lands between snapshots, so
+// each cycle additionally pays the copy-on-write reclone of just the dirty
+// shards.
+func BenchmarkSnapshotCOW(b *testing.B) {
+	_, sh := benchProjection(b)
+	edges := sh.Edges()
+	b.Run("idle", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sh.Snapshot()
+		}
+	})
+	for _, writes := range []int{16, 256} {
+		b.Run(fmt.Sprintf("hot-writes=%d", writes), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < writes; k++ {
+					e := edges[rng.Intn(len(edges))]
+					sh.AddEdgeWeight(e.U, e.V, 1)
+				}
+				sh.Snapshot()
+			}
+		})
+	}
+}
+
+// BenchmarkProjectionMerge compares the three batch projections on the
+// same corpus: the sequential reference, the rank-parallel Project (serial
+// gather into one map), and ProjectSharded (per-shard owner-computes
+// merge, no global lock).
+func BenchmarkProjectionMerge(b *testing.B) {
+	d := corpusOf(cigraphBenchComments)
+	btm := d.BTM()
+	w := projection.Window{Min: 0, Max: 600}
+	opts := projection.Options{Exclude: d.Helpers}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := projection.ProjectSequential(btm, w, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel-gather", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := projection.Project(btm, w, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sharded-merge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := projection.ProjectSharded(btm, w, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestWriteCIGraphBench records the sharded-store benchmarks to the JSON
+// file named by BENCH_CIGRAPH_OUT (skipped otherwise).
+func TestWriteCIGraphBench(t *testing.T) {
+	out := os.Getenv("BENCH_CIGRAPH_OUT")
+	if out == "" {
+		t.Skip("set BENCH_CIGRAPH_OUT=<path> to record the sharded-store benchmark")
+	}
+	d := corpusOf(cigraphBenchComments)
+	w := projection.Window{Min: 0, Max: 600}
+	opts := projection.Options{Exclude: d.Helpers}
+	ref, err := projection.ProjectSequential(d.BTM(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := projection.ProjectSharded(d.BTM(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := sh.Edges()
+
+	clone := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ref.Clone()
+		}
+	})
+	cowIdle := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sh.Snapshot()
+		}
+	})
+	const hotWrites = 256
+	cowHot := testing.Benchmark(func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < hotWrites; k++ {
+				e := edges[rng.Intn(len(edges))]
+				sh.AddEdgeWeight(e.U, e.V, 1)
+			}
+			sh.Snapshot()
+		}
+	})
+
+	btm := d.BTM()
+	projSeq := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := projection.ProjectSequential(btm, w, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	projGather := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := projection.Project(btm, w, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	projSharded := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := projection.ProjectSharded(btm, w, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	report := map[string]any{
+		"benchmark": "cigraph-sharded",
+		"corpus": map[string]any{
+			"comments":   cigraphBenchComments,
+			"window_sec": 600,
+			"edges":      ref.NumEdges(),
+			"authors":    ref.NumAuthors(),
+			"shards":     sh.NumShards(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+		},
+		"snapshot": map[string]any{
+			"clone_ns":        clone.NsPerOp(),
+			"clone_allocs":    clone.AllocsPerOp(),
+			"cow_idle_ns":     cowIdle.NsPerOp(),
+			"cow_idle_allocs": cowIdle.AllocsPerOp(),
+			"cow_hot_ns":      cowHot.NsPerOp(),
+			"cow_hot_allocs":  cowHot.AllocsPerOp(),
+			"cow_hot_writes":  hotWrites,
+			"clone_over_idle": float64(clone.NsPerOp()) / float64(cowIdle.NsPerOp()),
+			"clone_over_hot":  float64(clone.NsPerOp()) / float64(cowHot.NsPerOp()),
+		},
+		"projection_merge": map[string]any{
+			"sequential_ns":      projSeq.NsPerOp(),
+			"parallel_gather_ns": projGather.NsPerOp(),
+			"sharded_merge_ns":   projSharded.NsPerOp(),
+			"speedup_vs_serial":  float64(projSeq.NsPerOp()) / float64(projSharded.NsPerOp()),
+			"speedup_vs_gather":  float64(projGather.NsPerOp()) / float64(projSharded.NsPerOp()),
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("snapshot: clone %.2fms vs COW idle %dns (%.0fx); projection: seq %.0fms, sharded %.0fms -> %s",
+		float64(clone.NsPerOp())/1e6, cowIdle.NsPerOp(),
+		float64(clone.NsPerOp())/float64(cowIdle.NsPerOp()),
+		float64(projSeq.NsPerOp())/1e6, float64(projSharded.NsPerOp())/1e6, out)
+}

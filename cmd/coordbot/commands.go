@@ -107,7 +107,7 @@ func cmdProject(args []string) error {
 	exclude := fs.String("exclude", "AutoModerator,[deleted]", "authors to exclude")
 	out := fs.String("out", "", "output edge TSV (default stdout)")
 	ranks := fs.Int("ranks", 0, "ygm parallelism (0 = auto)")
-	transport := fs.String("transport", "memory", "rank transport: memory (goroutine ranks) or tcp (loopback cluster, serialized messages)")
+	transport := fs.String("transport", "memory", "rank transport: memory (goroutine ranks), sharded (owner-computes merge into the lock-striped store), or tcp (loopback cluster, serialized messages)")
 	minW, maxW := windowFlag(fs)
 	fs.Parse(args)
 
@@ -117,10 +117,12 @@ func cmdProject(args []string) error {
 	}
 	window := projection.Window{Min: *minW, Max: *maxW}
 	opts := projection.Options{Exclude: ex, Ranks: *ranks}
-	var g *graph.CIGraph
+	var g graph.CIView
 	switch *transport {
 	case "memory":
 		g, err = projection.Project(b, window, opts)
+	case "sharded":
+		g, err = projection.ProjectSharded(b, window, opts)
 	case "tcp":
 		nr := *ranks
 		if nr == 0 {

@@ -46,6 +46,7 @@ func main() {
 	noHyper := fs.Bool("no-hyper", false, "skip hypergraph validation (no comment log kept)")
 	dropLate := fs.Bool("drop-late", false, "drop out-of-order comments instead of clamping to the watermark")
 	ranks := fs.Int("ranks", 0, "survey parallelism (0 = all cores)")
+	shards := fs.Int("shards", 0, "live CI store shard count, rounded up to a power of two (0 = default)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -67,6 +68,7 @@ func main() {
 		QueueSize:          *queue,
 		ClampLate:          !*dropLate,
 		Ranks:              *ranks,
+		Shards:             *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coordbotd:", err)

@@ -51,6 +51,7 @@ func main() {
 		MinTScore:          0.5,
 		ValidateHypergraph: true,
 		Exclude:            []string{"AutoModerator", "[deleted]"},
+		Shards:             32,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -108,8 +109,9 @@ func main() {
 	// 5. Query the API like any other client would.
 	var stats detectd.StatsOut
 	get(srv.URL+"/v1/stats", &stats)
-	fmt.Printf("stats: ingested=%d live_edges=%d cycles=%d last_survey=%.1fms\n",
-		stats.Ingested, stats.LiveEdges, stats.Cycles, stats.LastSurveyMS)
+	fmt.Printf("stats: ingested=%d live_edges=%d shards=%d cycles=%d (reused %d) last_survey=%.1fms\n",
+		stats.Ingested, stats.LiveEdges, stats.Shards, stats.Cycles,
+		stats.SurveysReused, stats.LastSurveyMS)
 
 	var tris detectd.TrianglesOut
 	get(srv.URL+"/v1/triangles?min_t=0.5", &tris)

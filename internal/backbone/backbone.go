@@ -79,7 +79,7 @@ type Edge struct {
 // in-window comments for a tighter null). K_x is the projection's own
 // per-author page count P'_x. Results are sorted by P ascending (most
 // significant first), ties by weight descending then (U, V).
-func Scores(g *graph.CIGraph, totalPages int) []Edge {
+func Scores(g graph.CIView, totalPages int) []Edge {
 	out := make([]Edge, 0, g.NumEdges())
 	for _, e := range g.Edges() {
 		kx := int(g.PageCount(e.U))
@@ -104,7 +104,7 @@ func Scores(g *graph.CIGraph, totalPages int) []Edge {
 
 // Extract returns the subgraph of edges significant at level alpha
 // (Bonferroni-correct upstream if desired). Page counts are preserved.
-func Extract(g *graph.CIGraph, totalPages int, alpha float64) *graph.CIGraph {
+func Extract(g graph.CIView, totalPages int, alpha float64) *graph.CIGraph {
 	out := graph.NewCIGraph()
 	for _, e := range Scores(g, totalPages) {
 		if e.P <= alpha {

@@ -6,10 +6,15 @@
 //     time-ordered comment stream and maintains the CI graph of only the
 //     trailing event-time horizon — old co-activity ages out instead of
 //     accumulating forever.
-//  2. A background survey loop periodically snapshots the live CI graph
-//     (deep copy under a brief lock — ingestion never waits on a survey),
-//     runs the batch triangle survey and hypergraph validation on the
-//     snapshot via pipeline.RunOnCI, and atomically publishes the result.
+//  2. A background survey loop periodically snapshots the live CI graph.
+//     The live graph is a sharded copy-on-write store, so a snapshot
+//     freezes shard map references under per-shard locks — O(shards), not
+//     O(edges) — and ingestion recopies only the shards it dirties
+//     afterwards. The loop runs the batch triangle survey and hypergraph
+//     validation on the immutable snapshot via pipeline.RunOnCI and
+//     atomically publishes the result. An idle cycle (nothing ingested
+//     since the last survey) republishes the previous result without
+//     recomputing anything.
 //  3. An HTTP/JSON API (http.go) exposes ingestion with backpressure,
 //     the latest survey, per-user scoring, stats, and health.
 //
@@ -65,6 +70,10 @@ type Config struct {
 	// forces the single-threaded reference implementations.
 	Ranks      int
 	Sequential bool
+	// Shards is the shard count of the live CI store (rounded up to a
+	// power of two; 0 = graph.DefaultShards). More shards cut the
+	// copy-on-write cost hot ingestion pays after each snapshot.
+	Shards int
 }
 
 func (c *Config) setDefaults() error {
@@ -97,6 +106,22 @@ type SurveyResult struct {
 	Edges, Vertices int
 	// Result is the full batch-pipeline output on the snapshot.
 	Result *pipeline.Result
+	// Reused reports that the stream was idle since the previous cycle,
+	// so this cycle republished the previous Result without resurveying.
+	Reused bool
+
+	// stamp identifies the exact stream state the survey saw; an equal
+	// stamp on the next cycle proves the graph and log are unchanged.
+	stamp surveyStamp
+}
+
+// surveyStamp is captured under s.mu together with the snapshot. The
+// ingested counter covers the comment log too: every logged comment
+// increments it, and the daemon never advances event time without one.
+type surveyStamp struct {
+	graphVersion uint64
+	ingested     int64
+	watermark    int64
 }
 
 // Service is the daemon. Create with NewService, start the background
@@ -116,12 +141,13 @@ type Service struct {
 	queue  chan []graph.Comment
 	latest atomic.Pointer[SurveyResult]
 
-	ingested     atomic.Int64
-	dropped      atomic.Int64
-	lateClamped  atomic.Int64
-	cycles       atomic.Int64
-	surveyErrs   atomic.Int64
-	lastSurveyNS atomic.Int64
+	ingested      atomic.Int64
+	dropped       atomic.Int64
+	lateClamped   atomic.Int64
+	cycles        atomic.Int64
+	surveysReused atomic.Int64
+	surveyErrs    atomic.Int64
+	lastSurveyNS  atomic.Int64
 
 	metrics *metrics
 	started time.Time
@@ -142,8 +168,8 @@ func NewService(cfg Config) (*Service, error) {
 	for _, name := range cfg.Exclude {
 		exclude[authors.Intern(name)] = true
 	}
-	proj, err := stream.NewSlidingProjector(cfg.Window, cfg.Horizon,
-		projection.Options{Exclude: exclude})
+	proj, err := stream.NewSlidingProjectorShards(cfg.Window, cfg.Horizon,
+		projection.Options{Exclude: exclude}, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -294,15 +320,35 @@ func (s *Service) surveyLoop() {
 }
 
 // SurveyNow runs one survey cycle synchronously: snapshot the live CI
-// graph under a brief lock, then run the batch survey/validation on the
-// copy and publish the result. Callable concurrently with ingestion (and
-// with the background loop, though cycles then interleave arbitrarily).
+// graph under a brief lock — O(shards) copy-on-write, not a deep copy —
+// then run the batch survey/validation on the immutable snapshot and
+// publish the result. If the stream is idle (stamp unchanged since the
+// previous cycle) the previous result is republished with Reused set and
+// no graph work at all. Callable concurrently with ingestion (and with
+// the background loop, though cycles then interleave arbitrarily).
 func (s *Service) SurveyNow() (*SurveyResult, error) {
 	start := time.Now()
 
 	s.mu.Lock()
+	st := surveyStamp{
+		graphVersion: s.proj.GraphVersion(),
+		ingested:     s.ingested.Load(),
+		watermark:    s.proj.Watermark(),
+	}
+	if prev := s.latest.Load(); prev != nil && prev.stamp == st {
+		s.mu.Unlock()
+		sr := *prev
+		sr.Cycle = s.cycles.Add(1)
+		sr.TakenAt = start
+		sr.Duration = time.Since(start)
+		sr.Reused = true
+		s.surveysReused.Add(1)
+		s.lastSurveyNS.Store(int64(sr.Duration))
+		s.latest.Store(&sr)
+		return &sr, nil
+	}
 	ci := s.proj.Snapshot()
-	wm := s.proj.Watermark()
+	wm := st.watermark
 	var windowed []graph.Comment
 	if s.cfg.ValidateHypergraph && len(s.log)-s.logStart > 0 {
 		windowed = append(windowed, s.log[s.logStart:]...)
@@ -334,6 +380,7 @@ func (s *Service) SurveyNow() (*SurveyResult, error) {
 		Edges:     ci.NumEdges(),
 		Vertices:  ci.NumVertices(),
 		Result:    res,
+		stamp:     st,
 	}
 	s.lastSurveyNS.Store(int64(sr.Duration))
 	s.latest.Store(sr)
@@ -348,6 +395,10 @@ func (s *Service) Ingested() int64 { return s.ingested.Load() }
 
 // Cycles returns the number of completed survey cycles.
 func (s *Service) Cycles() int64 { return s.cycles.Load() }
+
+// SurveysReused returns the number of cycles that republished the
+// previous result because the stream was idle.
+func (s *Service) SurveysReused() int64 { return s.surveysReused.Load() }
 
 // Snapshot of live-side gauges for the stats endpoint.
 type liveStats struct {
@@ -373,12 +424,15 @@ func (s *Service) liveStats() liveStats {
 }
 
 // PairScore reads live pairwise state for the score endpoint: CI weight
-// between each user pair plus per-user P'.
+// between each user pair plus per-user P'. It deliberately does not take
+// s.mu: the projector's point reads go through the sharded store's
+// per-shard read locks, so scoring contends only with ingest writes to
+// the same shard — never with a survey holding the service lock. The
+// pairs are therefore individually (not jointly) consistent, which is
+// all the endpoint promises for a live view.
 func (s *Service) PairScore(ids []graph.VertexID) (weights map[[2]int]uint32, pageCounts []uint32) {
 	weights = make(map[[2]int]uint32)
 	pageCounts = make([]uint32, len(ids))
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for i := range ids {
 		pageCounts[i] = s.proj.PageCount(ids[i])
 		for j := i + 1; j < len(ids); j++ {

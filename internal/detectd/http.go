@@ -79,6 +79,8 @@ type StatsOut struct {
 	BufferedComments int     `json:"buffered_comments"`
 	LoggedComments   int     `json:"logged_comments"`
 	Cycles           int64   `json:"cycles"`
+	SurveysReused    int64   `json:"surveys_reused"`
+	Shards           int     `json:"shards"`
 	SurveyErrors     int64   `json:"survey_errors"`
 	LastSurveyMS     float64 `json:"last_survey_ms"`
 	LastTriangles    int     `json:"last_triangles"`
@@ -406,6 +408,8 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		BufferedComments: live.buffered,
 		LoggedComments:   live.logged,
 		Cycles:           s.cycles.Load(),
+		SurveysReused:    s.surveysReused.Load(),
+		Shards:           s.proj.NumShards(),
 		SurveyErrors:     s.surveyErrs.Load(),
 		LastSurveyMS:     float64(s.lastSurveyNS.Load()) / 1e6,
 		Endpoints:        s.metrics.snapshot(),

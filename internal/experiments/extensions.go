@@ -28,7 +28,7 @@ func (l *Lab) S4() (*Report, error) {
 	ci := res.CI
 	bots := d.AllBots()
 
-	botEdge := func(g *graph.CIGraph) (bot, organic int) {
+	botEdge := func(g graph.CIView) (bot, organic int) {
 		for _, e := range g.Edges() {
 			if bots[e.U] && bots[e.V] {
 				bot++
@@ -39,7 +39,7 @@ func (l *Lab) S4() (*Report, error) {
 		return bot, organic
 	}
 
-	thr := ci.Threshold(25)
+	thr := ci.ThresholdView(25)
 	tb, to := botEdge(thr)
 	r.addf("threshold 25: %d edges kept of %d (%d bot–bot, %d involving organic)",
 		thr.NumEdges(), ci.NumEdges(), tb, to)

@@ -122,6 +122,20 @@ func (g *CIGraph) PageCount(u VertexID) uint32 { return g.pageCounts[u] }
 // NumEdges returns |I|.
 func (g *CIGraph) NumEdges() int { return len(g.edges) }
 
+// NumAuthors returns the number of entries in the P' table.
+func (g *CIGraph) NumAuthors() int { return len(g.pageCounts) }
+
+// ForEachEdge calls fn for every edge in unspecified order, stopping early
+// when fn returns false.
+func (g *CIGraph) ForEachEdge(fn func(u, v VertexID, w uint32) bool) {
+	for key, w := range g.edges {
+		u, v := UnpackEdge(key)
+		if !fn(u, v, w) {
+			return
+		}
+	}
+}
+
 // NumVertices returns the number of authors with at least one CI edge.
 func (g *CIGraph) NumVertices() int {
 	seen := make(map[VertexID]struct{})
@@ -177,6 +191,9 @@ func (g *CIGraph) Threshold(minW uint32) *CIGraph {
 	return out
 }
 
+// ThresholdView is Threshold behind the CIView interface.
+func (g *CIGraph) ThresholdView(minW uint32) CIView { return g.Threshold(minW) }
+
 // Merge adds every edge weight and page count of other into g. Used by the
 // time-bucketed projection workaround described in §3 of the paper.
 func (g *CIGraph) Merge(other *CIGraph) {
@@ -188,19 +205,24 @@ func (g *CIGraph) Merge(other *CIGraph) {
 	}
 }
 
-// Equal reports whether two CI graphs have identical edges, weights, and
-// page counts (used heavily by equivalence tests).
-func (g *CIGraph) Equal(other *CIGraph) bool {
-	if len(g.edges) != len(other.edges) || len(g.pageCounts) != len(other.pageCounts) {
+// Equal reports whether two CI views have identical edges, weights, and
+// page counts (used heavily by equivalence tests). The map-vs-map case
+// short-circuits without going through the generic view comparison.
+func (g *CIGraph) Equal(other CIView) bool {
+	o, ok := other.(*CIGraph)
+	if !ok {
+		return viewsEqual(g, other)
+	}
+	if len(g.edges) != len(o.edges) || len(g.pageCounts) != len(o.pageCounts) {
 		return false
 	}
 	for key, w := range g.edges {
-		if other.edges[key] != w {
+		if o.edges[key] != w {
 			return false
 		}
 	}
 	for k, v := range g.pageCounts {
-		if other.pageCounts[k] != v {
+		if o.pageCounts[k] != v {
 			return false
 		}
 	}

@@ -49,14 +49,14 @@ func (c *Component) Density() float64 {
 
 // ConnectedComponents returns the connected components of g (vertices with
 // at least one edge), largest first; ties broken by smallest author ID.
-func ConnectedComponents(g *CIGraph) []Component {
+func ConnectedComponents(g CIView) []Component {
 	adj := g.BuildAdjacency()
 	n := adj.NumVertices()
 	uf := NewUnionFind(n)
-	for key := range g.edges {
-		u, v := UnpackEdge(key)
+	g.ForEachEdge(func(u, v VertexID, _ uint32) bool {
 		uf.Union(adj.Dense[u], adj.Dense[v])
-	}
+		return true
+	})
 	groups := make(map[int32][]VertexID)
 	for i := 0; i < n; i++ {
 		r := uf.Find(int32(i))
@@ -73,11 +73,11 @@ func ConnectedComponents(g *CIGraph) []Component {
 	for i := range comps {
 		index[repOf(comps[i].Authors[0])] = i
 	}
-	for key, w := range g.edges {
-		u, v := UnpackEdge(key)
+	g.ForEachEdge(func(u, v VertexID, w uint32) bool {
 		ci := index[repOf(u)]
 		comps[ci].Edges = append(comps[ci].Edges, WeightedEdge{U: u, V: v, W: w})
-	}
+		return true
+	})
 	sortComponents(comps)
 	return comps
 }

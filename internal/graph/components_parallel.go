@@ -7,7 +7,7 @@ import "coordbot/internal/ygm"
 // computes components of thresholded projections too large for one rank.
 // Results are identical to ConnectedComponents (tested). ranks==0 uses
 // ygm.DefaultRanks().
-func ConnectedComponentsParallel(g *CIGraph, ranks int) []Component {
+func ConnectedComponentsParallel(g CIView, ranks int) []Component {
 	if ranks == 0 {
 		ranks = ygm.DefaultRanks()
 	}

@@ -1,0 +1,641 @@
+// Sharded CI store with copy-on-write snapshots.
+//
+// The map-backed CIGraph funnels every mutation through one global map and
+// pays O(E) to Clone — the snapshot cost that dominates an always-on
+// daemon surveying a large live graph. ShardedCI stripes the edge map and
+// the P' table across P power-of-two shards by key hash; each shard is a
+// self-contained (edge map + page-count delta) unit with its own lock and
+// a monotonic dirty-version counter.
+//
+// Snapshots are copy-on-write: Snapshot grabs each shard's current maps by
+// reference and marks the shard shared — O(P), independent of E. The first
+// mutation to land on a shared shard clones only that shard's maps (O(E/P)
+// while holding only that shard's lock) before writing, so a steady-state
+// daemon pays O(dirty shards) per survey cycle and ingestion never stalls
+// behind a full-graph copy.
+//
+// Snapshot consistency is per shard: writers running concurrently with
+// Snapshot may land between shard grabs. For a globally consistent
+// point-in-time snapshot, serialize writers around the Snapshot call (the
+// detectd daemon does, under its ingest mutex — the call is cheap enough
+// that the lock hold is negligible).
+package graph
+
+import (
+	"fmt"
+	"maps"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the shard count used when NewShardedCI is given n <= 0.
+// 64 keeps per-shard COW clones small while the per-snapshot overhead
+// (one pointer grab per shard) stays trivial.
+const DefaultShards = 64
+
+// mix64 is the splitmix64 finalizer — the shard router. Edge keys are
+// (u<<32|v) with correlated low bits, so a full-avalanche mix is needed
+// for even striping.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ciShard is one stripe of the store: its edge map, its slice of the P'
+// table, a dirty-version counter, and the COW flag.
+type ciShard struct {
+	mu    sync.RWMutex
+	edges map[uint64]uint32
+	pages map[VertexID]uint32
+	// version counts mutations to this shard (monotonic).
+	version uint64
+	// shared marks the current maps as referenced by a live snapshot; the
+	// next mutation clones them first (copy-on-write).
+	shared bool
+}
+
+// own makes the shard's maps writable, cloning them if a snapshot holds
+// the current ones. Caller holds sh.mu.
+func (sh *ciShard) own() {
+	if !sh.shared {
+		return
+	}
+	sh.edges = maps.Clone(sh.edges)
+	sh.pages = maps.Clone(sh.pages)
+	sh.shared = false
+}
+
+// ShardedCI is the sharded, internally synchronized CI store. All methods
+// are safe for concurrent use; reads take per-shard RLocks, mutations
+// per-shard write locks. Zero value is not usable — create with
+// NewShardedCI.
+type ShardedCI struct {
+	shards []ciShard
+	mask   uint64
+	// version aggregates mutations across shards (read lock-free by the
+	// daemon's idle-survey check).
+	version atomic.Uint64
+}
+
+// NewShardedCI creates an empty sharded store with n shards, rounded up to
+// a power of two; n <= 0 means DefaultShards.
+func NewShardedCI(n int) *ShardedCI {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	g := &ShardedCI{shards: make([]ciShard, p), mask: uint64(p - 1)}
+	for i := range g.shards {
+		g.shards[i].edges = make(map[uint64]uint32)
+		g.shards[i].pages = make(map[VertexID]uint32)
+	}
+	return g
+}
+
+// NumShards returns the shard count (a power of two).
+func (g *ShardedCI) NumShards() int { return len(g.shards) }
+
+// EdgeShard returns the shard index owning packed edge key.
+func (g *ShardedCI) EdgeShard(key uint64) int { return int(mix64(key) & g.mask) }
+
+// VertexShard returns the shard index owning author v's page count.
+func (g *ShardedCI) VertexShard(v VertexID) int { return int(mix64(uint64(v)) & g.mask) }
+
+// Version returns the aggregate mutation counter. Unchanged version means
+// unchanged graph (the converse need not hold).
+func (g *ShardedCI) Version() uint64 { return g.version.Load() }
+
+// AddEdgeWeight adds w to the weight of undirected edge {u,v}.
+func (g *ShardedCI) AddEdgeWeight(u, v VertexID, w uint32) {
+	key := PackEdge(u, v)
+	sh := &g.shards[g.EdgeShard(key)]
+	sh.mu.Lock()
+	sh.own()
+	sh.edges[key] += w
+	sh.version++
+	sh.mu.Unlock()
+	g.version.Add(1)
+}
+
+// SubEdgeWeight subtracts w from edge {u,v}, deleting it at zero. Panics
+// on underflow, mirroring CIGraph.SubEdgeWeight.
+func (g *ShardedCI) SubEdgeWeight(u, v VertexID, w uint32) {
+	key := PackEdge(u, v)
+	sh := &g.shards[g.EdgeShard(key)]
+	sh.mu.Lock()
+	cur, ok := sh.edges[key]
+	if !ok || cur < w {
+		sh.mu.Unlock()
+		panic(fmt.Sprintf("graph: edge {%d,%d} weight underflow (%d - %d)", u, v, cur, w))
+	}
+	sh.own()
+	if cur == w {
+		delete(sh.edges, key)
+	} else {
+		sh.edges[key] = cur - w
+	}
+	sh.version++
+	sh.mu.Unlock()
+	g.version.Add(1)
+}
+
+// AddPageCount adds n to P'_u.
+func (g *ShardedCI) AddPageCount(u VertexID, n uint32) {
+	sh := &g.shards[g.VertexShard(u)]
+	sh.mu.Lock()
+	sh.own()
+	sh.pages[u] += n
+	sh.version++
+	sh.mu.Unlock()
+	g.version.Add(1)
+}
+
+// SubPageCount subtracts n from P'_u, deleting the entry at zero. Panics
+// on underflow, mirroring CIGraph.SubPageCount.
+func (g *ShardedCI) SubPageCount(u VertexID, n uint32) {
+	sh := &g.shards[g.VertexShard(u)]
+	sh.mu.Lock()
+	cur, ok := sh.pages[u]
+	if !ok || cur < n {
+		sh.mu.Unlock()
+		panic(fmt.Sprintf("graph: author %d page count underflow (%d - %d)", u, cur, n))
+	}
+	sh.own()
+	if cur == n {
+		delete(sh.pages, u)
+	} else {
+		sh.pages[u] = cur - n
+	}
+	sh.version++
+	sh.mu.Unlock()
+	g.version.Add(1)
+}
+
+// SetPageCount overwrites P'_u (used when merging projections).
+func (g *ShardedCI) SetPageCount(u VertexID, n uint32) {
+	sh := &g.shards[g.VertexShard(u)]
+	sh.mu.Lock()
+	sh.own()
+	sh.pages[u] = n
+	sh.version++
+	sh.mu.Unlock()
+	g.version.Add(1)
+}
+
+// MergeShardDelta folds a per-shard delta (edge weight increments routed
+// by EdgeShard, page-count increments routed by VertexShard) into shard i.
+// This is the owner-computes merge primitive of the parallel projection:
+// each shard is merged under its own lock, so P mergers proceed with no
+// global lock. Keys routed to the wrong shard are a caller bug and would
+// silently corrupt lookups; callers route with EdgeShard/VertexShard.
+func (g *ShardedCI) MergeShardDelta(i int, edges map[uint64]uint32, pages map[VertexID]uint32) {
+	if len(edges) == 0 && len(pages) == 0 {
+		return
+	}
+	sh := &g.shards[i]
+	sh.mu.Lock()
+	sh.own()
+	for key, w := range edges {
+		sh.edges[key] += w
+	}
+	for v, n := range pages {
+		sh.pages[v] += n
+	}
+	sh.version++
+	sh.mu.Unlock()
+	g.version.Add(1)
+}
+
+// Snapshot returns a copy-on-write snapshot: O(shards) regardless of graph
+// size. The snapshot is immutable; the live store clones a shard's maps
+// before its next mutation to that shard. See the package comment for the
+// per-shard consistency caveat under concurrent writers.
+func (g *ShardedCI) Snapshot() *CISnapshot {
+	p := len(g.shards)
+	snap := &CISnapshot{
+		edges:    make([]map[uint64]uint32, p),
+		pages:    make([]map[VertexID]uint32, p),
+		versions: make([]uint64, p),
+		mask:     g.mask,
+	}
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		sh.shared = true
+		snap.edges[i] = sh.edges
+		snap.pages[i] = sh.pages
+		snap.versions[i] = sh.version
+		sh.mu.Unlock()
+	}
+	return snap
+}
+
+// --- CIView on the live store ------------------------------------------
+
+// Weight returns w'_uv (0 if absent or u == v).
+func (g *ShardedCI) Weight(u, v VertexID) uint32 {
+	if u == v {
+		return 0
+	}
+	key := PackEdge(u, v)
+	sh := &g.shards[g.EdgeShard(key)]
+	sh.mu.RLock()
+	w := sh.edges[key]
+	sh.mu.RUnlock()
+	return w
+}
+
+// PageCount returns P'_u.
+func (g *ShardedCI) PageCount(u VertexID) uint32 {
+	sh := &g.shards[g.VertexShard(u)]
+	sh.mu.RLock()
+	n := sh.pages[u]
+	sh.mu.RUnlock()
+	return n
+}
+
+// NumEdges returns |I|.
+func (g *ShardedCI) NumEdges() int {
+	n := 0
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		n += len(sh.edges)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// NumAuthors returns the number of entries in the P' table.
+func (g *ShardedCI) NumAuthors() int {
+	n := 0
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		n += len(sh.pages)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// NumVertices returns the number of authors with at least one CI edge.
+func (g *ShardedCI) NumVertices() int { return g.Snapshot().NumVertices() }
+
+// MaxWeight returns the largest edge weight.
+func (g *ShardedCI) MaxWeight() uint32 {
+	var mw uint32
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		for _, w := range sh.edges {
+			if w > mw {
+				mw = w
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return mw
+}
+
+// ForEachEdge iterates every edge under per-shard read locks. fn must not
+// mutate the store (self-deadlock on the shard lock).
+func (g *ShardedCI) ForEachEdge(fn func(u, v VertexID, w uint32) bool) {
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		for key, w := range sh.edges {
+			u, v := UnpackEdge(key)
+			if !fn(u, v, w) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// Edges returns all edges, sorted by (U, V).
+func (g *ShardedCI) Edges() []WeightedEdge { return g.Snapshot().Edges() }
+
+// PageCounts returns a merged copy of the P' table.
+func (g *ShardedCI) PageCounts() map[VertexID]uint32 { return g.Snapshot().PageCounts() }
+
+// ThresholdView returns a snapshot view of edges with weight >= minW.
+func (g *ShardedCI) ThresholdView(minW uint32) CIView { return g.Snapshot().ThresholdView(minW) }
+
+// BuildAdjacency materializes CSR form (shard-parallel, via a snapshot).
+func (g *ShardedCI) BuildAdjacency() *Adjacency { return g.Snapshot().BuildAdjacency() }
+
+// Equal reports view equality.
+func (g *ShardedCI) Equal(other CIView) bool { return viewsEqual(g, other) }
+
+// --- snapshots ----------------------------------------------------------
+
+// CISnapshot is an immutable copy-on-write snapshot of a ShardedCI: one
+// frozen (edge map, page map) pair per shard. It is safe for concurrent
+// readers and implements CIView, so surveys and scores run on it directly
+// without materializing a map-backed graph.
+type CISnapshot struct {
+	edges    []map[uint64]uint32
+	pages    []map[VertexID]uint32
+	versions []uint64
+	mask     uint64
+}
+
+// NumShards returns the shard count.
+func (s *CISnapshot) NumShards() int { return len(s.edges) }
+
+// ShardVersions returns the per-shard dirty versions at snapshot time.
+// Two snapshots with an equal version share that shard's maps by
+// reference — the COW invariant the property tests pin down.
+func (s *CISnapshot) ShardVersions() []uint64 {
+	out := make([]uint64, len(s.versions))
+	copy(out, s.versions)
+	return out
+}
+
+// Weight returns w'_uv (0 if absent or u == v).
+func (s *CISnapshot) Weight(u, v VertexID) uint32 {
+	if u == v {
+		return 0
+	}
+	key := PackEdge(u, v)
+	return s.edges[mix64(key)&s.mask][key]
+}
+
+// PageCount returns P'_u.
+func (s *CISnapshot) PageCount(u VertexID) uint32 {
+	return s.pages[mix64(uint64(u))&s.mask][u]
+}
+
+// NumEdges returns |I|.
+func (s *CISnapshot) NumEdges() int {
+	n := 0
+	for _, m := range s.edges {
+		n += len(m)
+	}
+	return n
+}
+
+// NumAuthors returns the number of entries in the P' table.
+func (s *CISnapshot) NumAuthors() int {
+	n := 0
+	for _, m := range s.pages {
+		n += len(m)
+	}
+	return n
+}
+
+// NumVertices returns the number of authors with at least one CI edge.
+func (s *CISnapshot) NumVertices() int {
+	seen := make(map[VertexID]struct{})
+	for _, m := range s.edges {
+		for key := range m {
+			u, v := UnpackEdge(key)
+			seen[u] = struct{}{}
+			seen[v] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// MaxWeight returns the largest edge weight.
+func (s *CISnapshot) MaxWeight() uint32 {
+	var mw uint32
+	for _, m := range s.edges {
+		for _, w := range m {
+			if w > mw {
+				mw = w
+			}
+		}
+	}
+	return mw
+}
+
+// ForEachEdge iterates every edge in unspecified order.
+func (s *CISnapshot) ForEachEdge(fn func(u, v VertexID, w uint32) bool) {
+	for _, m := range s.edges {
+		for key, w := range m {
+			u, v := UnpackEdge(key)
+			if !fn(u, v, w) {
+				return
+			}
+		}
+	}
+}
+
+// Edges returns all edges, sorted by (U, V).
+func (s *CISnapshot) Edges() []WeightedEdge {
+	out := make([]WeightedEdge, 0, s.NumEdges())
+	for _, m := range s.edges {
+		for key, w := range m {
+			u, v := UnpackEdge(key)
+			out = append(out, WeightedEdge{U: u, V: v, W: w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// PageCounts returns a merged copy of the P' table.
+func (s *CISnapshot) PageCounts() map[VertexID]uint32 {
+	out := make(map[VertexID]uint32, s.NumAuthors())
+	for _, m := range s.pages {
+		for v, n := range m {
+			out[v] = n
+		}
+	}
+	return out
+}
+
+// ThresholdView filters shards in parallel, returning a new snapshot whose
+// edge maps keep only weights >= minW. Page maps are shared by reference
+// (frozen, and P' is unaffected by edge pruning).
+func (s *CISnapshot) ThresholdView(minW uint32) CIView {
+	if minW <= 1 {
+		return s
+	}
+	p := len(s.edges)
+	out := &CISnapshot{
+		edges:    make([]map[uint64]uint32, p),
+		pages:    s.pages,
+		versions: s.versions,
+		mask:     s.mask,
+	}
+	parallelShards(p, func(i int) {
+		kept := make(map[uint64]uint32)
+		for key, w := range s.edges[i] {
+			if w >= minW {
+				kept[key] = w
+			}
+		}
+		out.edges[i] = kept
+	})
+	return out
+}
+
+// Materialize copies the snapshot into a map-backed CIGraph (reference
+// form, for tests and interop with map-only callers).
+func (s *CISnapshot) Materialize() *CIGraph {
+	out := NewCIGraph()
+	for _, m := range s.edges {
+		for key, w := range m {
+			out.edges[key] = w
+		}
+	}
+	for _, m := range s.pages {
+		for v, n := range m {
+			out.pageCounts[v] = n
+		}
+	}
+	return out
+}
+
+// Equal reports view equality.
+func (s *CISnapshot) Equal(other CIView) bool { return viewsEqual(s, other) }
+
+// parallelShards runs fn(0..n-1) across min(GOMAXPROCS, n) workers.
+func parallelShards(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BuildAdjacency materializes the CSR adjacency view, built shard-parallel:
+// vertex collection and degree counts fan out over shards, the CSR fill
+// uses atomic per-vertex cursors, and the per-vertex neighbor sorts fan
+// out over vertex ranges. Output is byte-identical to the map-backed
+// CIGraph.BuildAdjacency on the same graph (sorted neighbor lists make
+// the result independent of fill order).
+func (s *CISnapshot) BuildAdjacency() *Adjacency {
+	p := len(s.edges)
+
+	// Phase 1: per-shard distinct endpoint collection.
+	perShard := make([][]VertexID, p)
+	parallelShards(p, func(i int) {
+		seen := make(map[VertexID]struct{})
+		for key := range s.edges[i] {
+			u, v := UnpackEdge(key)
+			seen[u] = struct{}{}
+			seen[v] = struct{}{}
+		}
+		vs := make([]VertexID, 0, len(seen))
+		for v := range seen {
+			vs = append(vs, v)
+		}
+		perShard[i] = vs
+	})
+	var orig []VertexID
+	for _, vs := range perShard {
+		orig = append(orig, vs...)
+	}
+	sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+	// Dedupe: the same author appears once per shard that has an incident
+	// edge.
+	w := 0
+	for i, v := range orig {
+		if i == 0 || v != orig[w-1] {
+			orig[w] = v
+			w++
+		}
+	}
+	orig = orig[:w]
+	n := len(orig)
+	dense := make(map[VertexID]int32, n)
+	for i, v := range orig {
+		dense[v] = int32(i)
+	}
+
+	adj := &Adjacency{Orig: orig, Dense: dense, Off: make([]int, n+1)}
+	if n == 0 {
+		return adj
+	}
+
+	// Phase 2: degree counts (atomic, shard-parallel).
+	deg := make([]int32, n)
+	parallelShards(p, func(i int) {
+		for key := range s.edges[i] {
+			u, v := UnpackEdge(key)
+			atomic.AddInt32(&deg[dense[u]], 1)
+			atomic.AddInt32(&deg[dense[v]], 1)
+		}
+	})
+	for i := 0; i < n; i++ {
+		adj.Off[i+1] = adj.Off[i] + int(deg[i])
+	}
+	m := adj.Off[n]
+	adj.Nbr = make([]int32, m)
+	adj.Wt = make([]uint32, m)
+
+	// Phase 3: CSR fill with atomic per-vertex cursors.
+	cursor := make([]int32, n)
+	parallelShards(p, func(i int) {
+		for key, wgt := range s.edges[i] {
+			u, v := UnpackEdge(key)
+			du, dv := dense[u], dense[v]
+			at := adj.Off[du] + int(atomic.AddInt32(&cursor[du], 1)) - 1
+			adj.Nbr[at], adj.Wt[at] = dv, wgt
+			at = adj.Off[dv] + int(atomic.AddInt32(&cursor[dv], 1)) - 1
+			adj.Nbr[at], adj.Wt[at] = du, wgt
+		}
+	})
+
+	// Phase 4: sort each neighbor list (with parallel weights), fanning
+	// out over vertices.
+	parallelShards(n, func(i int) {
+		lo, hi := adj.Off[i], adj.Off[i+1]
+		if hi-lo < 2 {
+			return
+		}
+		idx := make([]int, hi-lo)
+		for k := range idx {
+			idx[k] = lo + k
+		}
+		sort.Slice(idx, func(a, b int) bool { return adj.Nbr[idx[a]] < adj.Nbr[idx[b]] })
+		nbr := make([]int32, hi-lo)
+		wt := make([]uint32, hi-lo)
+		for k, q := range idx {
+			nbr[k], wt[k] = adj.Nbr[q], adj.Wt[q]
+		}
+		copy(adj.Nbr[lo:hi], nbr)
+		copy(adj.Wt[lo:hi], wt)
+	})
+	return adj
+}

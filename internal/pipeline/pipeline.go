@@ -76,12 +76,14 @@ type Timings struct {
 // Result is the output of a Run.
 type Result struct {
 	Config Config
-	// CI is the full projected common interaction graph.
-	CI *graph.CIGraph
+	// CI is the full projected common interaction graph: a map-backed
+	// *graph.CIGraph for batch runs, or a sharded *graph.CISnapshot for
+	// daemon snapshot surveys — both behind the read-only view interface.
+	CI graph.CIView
 	// Thresholded is CI restricted to edges >= MinTriangleWeight (or
 	// MinEdgeWeight if higher) — the graph whose components the paper
 	// draws in Figures 1–2.
-	Thresholded *graph.CIGraph
+	Thresholded graph.CIView
 	// Components of the thresholded graph, largest first.
 	Components []graph.Component
 	// Triangles that survived the survey, each with hypergraph scores.
@@ -123,7 +125,7 @@ func Run(b *graph.BTM, cfg Config) (*Result, error) {
 // just the trailing-horizon comments); it may be nil, which skips Step 3 as
 // if cfg.SkipHypergraph were set. cfg.Window is recorded but not re-applied
 // — the graph is taken as projected.
-func RunOnCI(ci *graph.CIGraph, b *graph.BTM, cfg Config) (*Result, error) {
+func RunOnCI(ci graph.CIView, b *graph.BTM, cfg Config) (*Result, error) {
 	if ci == nil {
 		return nil, fmt.Errorf("pipeline: RunOnCI on nil CI graph")
 	}
@@ -196,7 +198,7 @@ func finish(res *Result, b *graph.BTM, cfg Config) {
 	if cut < 1 {
 		cut = 1
 	}
-	res.Thresholded = ci.Threshold(cut)
+	res.Thresholded = ci.ThresholdView(cut)
 	res.Components = graph.ConnectedComponents(res.Thresholded)
 	res.Timings.Component = time.Since(t0)
 }

@@ -1,0 +1,96 @@
+package projection
+
+import (
+	"runtime"
+	"sync"
+
+	"coordbot/internal/graph"
+)
+
+// ProjectSharded runs Algorithm 1 with the sharded owner-computes merge:
+// pages are dealt round-robin to worker ranks; each rank computes its
+// pages' pair sets locally and accumulates them into per-(rank, shard)
+// delta maps routed by the store's shard hash; then one merger per shard
+// folds every rank's delta for that shard into the store under that
+// shard's own lock — P concurrent merges, no global lock and no serial
+// gather. The result equals ProjectSequential (property-tested).
+//
+// This is the batch counterpart of the daemon's sharded live store: both
+// land in a *graph.ShardedCI whose snapshots are copy-on-write.
+func ProjectSharded(b *graph.BTM, w Window, opts Options) (*graph.ShardedCI, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	nr := opts.Ranks
+	if nr <= 0 {
+		nr = runtime.GOMAXPROCS(0)
+		if nr < 2 {
+			nr = 2
+		}
+	}
+	g := graph.NewShardedCI(0)
+	p := g.NumShards()
+
+	// Phase 1: per-rank local projection into per-shard deltas.
+	type rankDelta struct {
+		edges []map[uint64]uint32
+		pages []map[graph.VertexID]uint32
+	}
+	deltas := make([]rankDelta, nr)
+	var wg sync.WaitGroup
+	wg.Add(nr)
+	for r := 0; r < nr; r++ {
+		go func(r int) {
+			defer wg.Done()
+			d := rankDelta{
+				edges: make([]map[uint64]uint32, p),
+				pages: make([]map[graph.VertexID]uint32, p),
+			}
+			for i := range d.edges {
+				d.edges[i] = make(map[uint64]uint32)
+				d.pages[i] = make(map[graph.VertexID]uint32)
+			}
+			pairs := make(map[uint64]struct{})
+			authors := make(map[graph.VertexID]struct{})
+			for pg := r; pg < b.NumPages(); pg += nr {
+				clear(pairs)
+				pagePairs(b.PageNeighborhood(graph.VertexID(pg)), w, opts, pairs)
+				if len(pairs) == 0 {
+					continue
+				}
+				clear(authors)
+				for key := range pairs {
+					d.edges[g.EdgeShard(key)][key]++
+					u, v := graph.UnpackEdge(key)
+					authors[u] = struct{}{}
+					authors[v] = struct{}{}
+				}
+				for a := range authors {
+					d.pages[g.VertexShard(a)][a]++
+				}
+			}
+			deltas[r] = d
+		}(r)
+	}
+	wg.Wait()
+
+	// Phase 2: shard-owned merge, one merger per shard.
+	mergers := runtime.GOMAXPROCS(0)
+	if mergers > p {
+		mergers = p
+	}
+	var mwg sync.WaitGroup
+	mwg.Add(mergers)
+	for m := 0; m < mergers; m++ {
+		go func(m int) {
+			defer mwg.Done()
+			for s := m; s < p; s += mergers {
+				for r := range deltas {
+					g.MergeShardDelta(s, deltas[r].edges[s], deltas[r].pages[s])
+				}
+			}
+		}(m)
+	}
+	mwg.Wait()
+	return g, nil
+}

@@ -32,14 +32,21 @@ import (
 // SlidingProjector maintains the CI graph of the trailing horizon of a
 // time-ordered comment stream. Create with NewSlidingProjector; feed with
 // Add (or advance idle time with AdvanceTo); read with Snapshot; finalize
-// with Result. Not safe for concurrent use — wrap with a lock (detectd
-// does) or shard by page upstream.
+// with Result.
+//
+// The live graph is a sharded store (graph.ShardedCI) so Snapshot is
+// copy-on-write: O(shards) per call, with dirty shards recopied lazily by
+// the next Add that touches them. Mutators (Add, AddAll, AdvanceTo,
+// Result) are single-writer — wrap with a lock (detectd does) or shard by
+// page upstream. The point reads EdgeWeight, PageCount, NumEdges, and
+// GraphVersion go through the store's per-shard locks and are safe
+// concurrently with the single writer.
 type SlidingProjector struct {
 	w       projection.Window
 	horizon int64
 	opts    projection.Options
 
-	g     *graph.CIGraph
+	g     *graph.ShardedCI
 	pages map[graph.VertexID]*slidingPage
 	exp   expiryHeap
 	// idle schedules page-state GC: a page whose newest comment has left
@@ -95,6 +102,15 @@ func (h *expiryHeap) Pop() any {
 // w.Max (pairs then simply never outlive their own delay span), but must be
 // positive.
 func NewSlidingProjector(w projection.Window, horizon int64, opts projection.Options) (*SlidingProjector, error) {
+	return NewSlidingProjectorShards(w, horizon, opts, 0)
+}
+
+// NewSlidingProjectorShards is NewSlidingProjector with an explicit shard
+// count for the live CI store (rounded up to a power of two; <= 0 means
+// graph.DefaultShards). More shards lower the per-shard copy-on-write cost
+// a hot ingest pays after each snapshot, at slightly more per-snapshot
+// bookkeeping.
+func NewSlidingProjectorShards(w projection.Window, horizon int64, opts projection.Options, shards int) (*SlidingProjector, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
@@ -105,7 +121,7 @@ func NewSlidingProjector(w projection.Window, horizon int64, opts projection.Opt
 		w:       w,
 		horizon: horizon,
 		opts:    opts,
-		g:       graph.NewCIGraph(),
+		g:       graph.NewShardedCI(shards),
 		pages:   make(map[graph.VertexID]*slidingPage),
 	}, nil
 }
@@ -297,13 +313,23 @@ func (p *SlidingProjector) evictExpired(cutoff int64) {
 	}
 }
 
-// Snapshot returns a deep copy of the current trailing-window CI graph.
-// The copy is independent: surveys run on it while ingestion continues.
-func (p *SlidingProjector) Snapshot() *graph.CIGraph { return p.g.Clone() }
+// Snapshot returns a copy-on-write snapshot of the current trailing-window
+// CI graph: O(shards), independent of graph size. The snapshot is
+// immutable — surveys run on it while ingestion continues; shards the
+// stream dirties afterwards are recopied lazily inside the store.
+func (p *SlidingProjector) Snapshot() *graph.CISnapshot { return p.g.Snapshot() }
+
+// NumShards returns the shard count of the live CI store.
+func (p *SlidingProjector) NumShards() int { return p.g.NumShards() }
+
+// GraphVersion returns the live store's aggregate mutation counter: an
+// unchanged version guarantees an unchanged CI graph, which lets a survey
+// loop skip recomputing over an idle stream.
+func (p *SlidingProjector) GraphVersion() uint64 { return p.g.Version() }
 
 // Result finalizes and returns the live CI graph (no copy). The projector
 // must not be used afterwards; Add and AdvanceTo return ErrAddAfterResult.
-func (p *SlidingProjector) Result() *graph.CIGraph {
+func (p *SlidingProjector) Result() graph.CIView {
 	p.finished = true
 	p.pages = nil
 	p.exp = nil

@@ -1,0 +1,96 @@
+package tripoll
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"coordbot/internal/graph"
+)
+
+// tieHeavyGraph builds a graph where almost every triangle shares the same
+// MinWeight: a clique over n vertices with every edge at weight w, plus a
+// few heavier edges so TopK has a non-trivial head. Map iteration order
+// randomizes the internal edge order run to run, which is exactly what the
+// deterministic sorts must absorb.
+func tieHeavyGraph(n int, w uint32) *graph.CIGraph {
+	g := graph.NewCIGraph()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdgeWeight(graph.VertexID(u), graph.VertexID(v), w)
+		}
+		g.AddPageCount(graph.VertexID(u), w+2)
+	}
+	// One heavier triangle so MinWeight ties don't collapse TopK entirely.
+	g.AddEdgeWeight(0, 1, 3)
+	g.AddEdgeWeight(0, 2, 3)
+	g.AddEdgeWeight(1, 2, 3)
+	return g
+}
+
+// TestSurveyDeterministicOnTies: two runs over a tie-heavy graph — where
+// nearly every triangle has identical weights and the parallel survey's
+// bag gathers in nondeterministic order — produce byte-identical output,
+// as do two TopK cuts at a k that lands mid-tie.
+func TestSurveyDeterministicOnTies(t *testing.T) {
+	g := tieHeavyGraph(14, 7)
+	opts := Options{MinTriangleWeight: 1, Ranks: 4}
+
+	first := Survey(g, opts)
+	if len(first) == 0 {
+		t.Fatal("no triangles surveyed")
+	}
+	for run := 0; run < 4; run++ {
+		again := Survey(g, opts)
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d: parallel survey order differs on tie-heavy graph", run)
+		}
+	}
+
+	// The sequential reference, sorted the same way, agrees exactly.
+	var seq []Triangle
+	SurveySequential(g, opts, func(tr Triangle) { seq = append(seq, tr) })
+	SortTriangles(seq)
+	if !reflect.DeepEqual(first, seq) {
+		t.Fatal("sorted sequential survey differs from parallel survey")
+	}
+
+	// TopK cuts mid-tie: every run must pick the same tied triangles.
+	for _, k := range []int{1, 5, len(first) / 2, len(first) - 1} {
+		top := TopKByMinWeight(first, k)
+		for run := 0; run < 3; run++ {
+			shuffled := make([]Triangle, len(first))
+			copy(shuffled, first)
+			rand.New(rand.NewSource(int64(run))).Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			if !reflect.DeepEqual(top, TopKByMinWeight(shuffled, k)) {
+				t.Fatalf("TopKByMinWeight(k=%d) depends on input order", k)
+			}
+		}
+	}
+}
+
+// TestSortTrianglesTotalOrder: SortTriangles is a total order even on
+// caller-built lists with duplicate (X,Y,Z) keys differing only in weights.
+func TestSortTrianglesTotalOrder(t *testing.T) {
+	ts := []Triangle{
+		{X: 1, Y: 2, Z: 3, WXY: 9, WXZ: 1, WYZ: 1},
+		{X: 1, Y: 2, Z: 3, WXY: 2, WXZ: 8, WYZ: 1},
+		{X: 1, Y: 2, Z: 3, WXY: 2, WXZ: 3, WYZ: 7},
+		{X: 1, Y: 2, Z: 3, WXY: 2, WXZ: 3, WYZ: 4},
+		{X: 0, Y: 2, Z: 9, WXY: 5, WXZ: 5, WYZ: 5},
+	}
+	want := []Triangle{ts[4], ts[3], ts[2], ts[1], ts[0]}
+	for run := 0; run < 5; run++ {
+		shuffled := make([]Triangle, len(ts))
+		copy(shuffled, ts)
+		rand.New(rand.NewSource(int64(run))).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		SortTriangles(shuffled)
+		if !reflect.DeepEqual(shuffled, want) {
+			t.Fatalf("run %d: SortTriangles not a total order: %v", run, shuffled)
+		}
+	}
+}

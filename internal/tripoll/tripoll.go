@@ -165,8 +165,8 @@ func EffectiveEdgeCut(opts Options) uint32 { return opts.effectiveEdgeCut() }
 
 // SurveySequential enumerates triangles single-threaded, invoking visit for
 // each triangle that passes the thresholds. The reference implementation.
-func SurveySequential(g *graph.CIGraph, opts Options, visit func(Triangle)) {
-	pruned := g.Threshold(opts.effectiveEdgeCut())
+func SurveySequential(g graph.CIView, opts Options, visit func(Triangle)) {
+	pruned := g.ThresholdView(opts.effectiveEdgeCut())
 	adj := pruned.BuildAdjacency()
 	o := Orient(adj)
 	survey := func(tr Triangle) {
@@ -194,8 +194,8 @@ func SurveySequential(g *graph.CIGraph, opts Options, visit func(Triangle)) {
 // structure: pivots are dealt to ranks; each wedge (v; u, w) is shipped to
 // the owner of the closing edge's lower-order endpoint, which checks
 // closure and appends surviving triangles to a distributed bag.
-func Survey(g *graph.CIGraph, opts Options) []Triangle {
-	pruned := g.Threshold(opts.effectiveEdgeCut())
+func Survey(g graph.CIView, opts Options) []Triangle {
+	pruned := g.ThresholdView(opts.effectiveEdgeCut())
 	adj := pruned.BuildAdjacency()
 	o := Orient(adj)
 	n := adj.NumVertices()
@@ -247,45 +247,59 @@ func Survey(g *graph.CIGraph, opts Options) []Triangle {
 	return out
 }
 
-// SortTriangles orders triangles by (X, Y, Z) for deterministic output.
+// SortTriangles orders triangles by (X, Y, Z), ties broken by
+// (WXY, WXZ, WYZ), stably — two runs over the same triangle multiset
+// produce identical output regardless of input order. (Surveyed triangles
+// are unique per (X, Y, Z); the weight tie-break makes the order total
+// even for caller-built lists with duplicates.)
 func SortTriangles(ts []Triangle) {
-	sort.Slice(ts, func(i, j int) bool {
-		if ts[i].X != ts[j].X {
-			return ts[i].X < ts[j].X
-		}
-		if ts[i].Y != ts[j].Y {
-			return ts[i].Y < ts[j].Y
-		}
-		return ts[i].Z < ts[j].Z
+	sort.SliceStable(ts, func(i, j int) bool {
+		return triangleLess(ts[i], ts[j])
 	})
+}
+
+// triangleLess is the canonical (X, Y, Z, WXY, WXZ, WYZ) total order.
+func triangleLess(a, b Triangle) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	if a.Z != b.Z {
+		return a.Z < b.Z
+	}
+	if a.WXY != b.WXY {
+		return a.WXY < b.WXY
+	}
+	if a.WXZ != b.WXZ {
+		return a.WXZ < b.WXZ
+	}
+	return a.WYZ < b.WYZ
 }
 
 // Count returns the number of triangles passing the thresholds without
 // materializing them.
-func Count(g *graph.CIGraph, opts Options) int64 {
+func Count(g graph.CIView, opts Options) int64 {
 	var n int64
 	SurveySequential(g, opts, func(Triangle) { n++ })
 	return n
 }
 
 // TopKByMinWeight returns the k triangles with the largest minimum edge
-// weight (ties by vertex ids for determinism), the paper's "find the
-// triangles with the highest minimum edge weights" query.
+// weight, ties broken by the full (X, Y, Z, WXY, WXZ, WYZ) order, stably —
+// the cut at k is deterministic even on tie-heavy graphs where many
+// triangles share a MinWeight. The paper's "find the triangles with the
+// highest minimum edge weights" query.
 func TopKByMinWeight(ts []Triangle, k int) []Triangle {
 	out := make([]Triangle, len(ts))
 	copy(out, ts)
-	sort.Slice(out, func(i, j int) bool {
+	sort.SliceStable(out, func(i, j int) bool {
 		wi, wj := out[i].MinWeight(), out[j].MinWeight()
 		if wi != wj {
 			return wi > wj
 		}
-		if out[i].X != out[j].X {
-			return out[i].X < out[j].X
-		}
-		if out[i].Y != out[j].Y {
-			return out[i].Y < out[j].Y
-		}
-		return out[i].Z < out[j].Z
+		return triangleLess(out[i], out[j])
 	})
 	if k < len(out) {
 		out = out[:k]
@@ -295,7 +309,7 @@ func TopKByMinWeight(ts []Triangle, k int) []Triangle {
 
 // CountNaive counts triangles by testing all vertex triples — O(n³),
 // test oracle only.
-func CountNaive(g *graph.CIGraph, minTriangleWeight uint32) int64 {
+func CountNaive(g graph.CIView, minTriangleWeight uint32) int64 {
 	adj := g.BuildAdjacency()
 	n := adj.NumVertices()
 	var count int64

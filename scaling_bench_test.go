@@ -227,6 +227,35 @@ func BenchmarkDetectdSurvey(b *testing.B) {
 	for _, batch := range detectdBatches(d) {
 		s.Apply(batch)
 	}
+	// One fresh comment per cycle keeps the idle-reuse short-circuit out
+	// of the measurement: this benchmark is the cost of a real survey.
+	last := d.Comments[len(d.Comments)-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last.TS++
+		s.Apply([]graph.Comment{last})
+		if _, err := s.SurveyNow(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectdSurveyIdle is the reuse path: nothing ingested between
+// cycles, so the daemon republishes the previous result — O(1), no graph
+// walk. The gap to BenchmarkDetectdSurvey is what the version stamp buys.
+func BenchmarkDetectdSurveyIdle(b *testing.B) {
+	d := corpusOf(detectdBenchComments)
+	s, err := detectd.NewService(detectdBenchConfig(true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range detectdBatches(d) {
+		s.Apply(batch)
+	}
+	if _, err := s.SurveyNow(); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
