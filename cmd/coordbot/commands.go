@@ -244,11 +244,20 @@ func cmdPipeline(args []string) error {
 	cut := fs.Uint("cut", 25, "min triangle weight cutoff")
 	tscore := fs.Float64("tscore", 0, "min T score (0 disables)")
 	ranks := fs.Int("ranks", 0, "ygm parallelism (0 = auto)")
+	transport := fs.String("transport", "memory", "Step-1 transport: memory (goroutine ranks) or sharded (owner-computes merge into the lock-striped store)")
 	dotDir := fs.String("dot", "", "write per-component DOT files to this directory")
 	topComps := fs.Int("components", 10, "components to print")
 	minW, maxW := windowFlag(fs)
 	fs.Parse(args)
 
+	var sharded bool
+	switch *transport {
+	case "memory":
+	case "sharded":
+		sharded = true
+	default:
+		return fmt.Errorf("unknown -transport %q (pipeline supports memory, sharded)", *transport)
+	}
 	c, b, ex, err := loadCorpus(*in, *exclude)
 	if err != nil {
 		return err
@@ -259,6 +268,7 @@ func cmdPipeline(args []string) error {
 		MinTScore:         *tscore,
 		Exclude:           ex,
 		Ranks:             *ranks,
+		Sharded:           sharded,
 	})
 	if err != nil {
 		return err

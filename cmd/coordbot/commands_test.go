@@ -76,6 +76,20 @@ func TestCmdGenAndPipeline(t *testing.T) {
 	}
 }
 
+func TestCmdPipelineShardedTransport(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.ndjson.gz")
+	if err := cmdGen([]string{"-preset", "tiny", "-seed", "7", "-out", data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPipeline([]string{"-in", data, "-cut", "20", "-transport", "sharded"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPipeline([]string{"-in", data, "-transport", "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}
+
 func TestCmdGenUnknownPreset(t *testing.T) {
 	if err := cmdGen([]string{"-preset", "nope", "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
 		t.Fatal("unknown preset accepted")

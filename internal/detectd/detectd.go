@@ -10,11 +10,16 @@
 //     The live graph is a sharded copy-on-write store, so a snapshot
 //     freezes shard map references under per-shard locks — O(shards), not
 //     O(edges) — and ingestion recopies only the shards it dirties
-//     afterwards. The loop runs the batch triangle survey and hypergraph
-//     validation on the immutable snapshot via pipeline.RunOnCI and
-//     atomically publishes the result. An idle cycle (nothing ingested
-//     since the last survey) republishes the previous result without
-//     recomputing anything.
+//     afterwards. Surveys are incremental: the loop diffs the snapshot's
+//     per-shard version vector against the previous cycle's (DirtyVertices),
+//     keeps every cached triangle that touches no dirty vertex, and
+//     re-enumerates only the dirty frontier (tripoll.SurveyDirty); the
+//     merged list flows through pipeline.RunOnTriangles, which memoizes
+//     hypergraph validation per triplet across cycles. The first cycle —
+//     or any incomparable snapshot, or Config.FullResurvey — falls back to
+//     the full survey. An idle cycle (nothing ingested since the last
+//     survey) republishes the previous result without recomputing
+//     anything.
 //  3. An HTTP/JSON API (http.go) exposes ingestion with backpressure,
 //     the latest survey, per-user scoring, stats, and health.
 //
@@ -31,10 +36,12 @@ import (
 	"time"
 
 	"coordbot/internal/graph"
+	"coordbot/internal/hypergraph"
 	"coordbot/internal/interner"
 	"coordbot/internal/pipeline"
 	"coordbot/internal/projection"
 	"coordbot/internal/stream"
+	"coordbot/internal/tripoll"
 )
 
 // Config parameterizes the daemon.
@@ -72,8 +79,27 @@ type Config struct {
 	Sequential bool
 	// Shards is the shard count of the live CI store (rounded up to a
 	// power of two; 0 = graph.DefaultShards). More shards cut the
-	// copy-on-write cost hot ingestion pays after each snapshot.
+	// copy-on-write cost hot ingestion pays after each snapshot — and
+	// tighten the dirty-shard diff the incremental survey starts from.
 	Shards int
+	// FullResurvey disables the incremental delta-survey path: every
+	// cycle re-enumerates the whole snapshot and re-validates every
+	// triangle, as if no previous cycle existed. The baseline mode for
+	// benchmarks and for bisecting suspected cache bugs.
+	FullResurvey bool
+}
+
+// edgeCut is the effective edge threshold of the survey (and the
+// component census): max(MinTriangleWeight, MinEdgeWeight, 1).
+func (c *Config) edgeCut() uint32 {
+	cut := c.MinTriangleWeight
+	if c.MinEdgeWeight > cut {
+		cut = c.MinEdgeWeight
+	}
+	if cut < 1 {
+		cut = 1
+	}
+	return cut
 }
 
 func (c *Config) setDefaults() error {
@@ -109,6 +135,25 @@ type SurveyResult struct {
 	// Reused reports that the stream was idle since the previous cycle,
 	// so this cycle republished the previous Result without resurveying.
 	Reused bool
+	// Delta reports that this cycle ran the incremental survey: cached
+	// triangles merged with a dirty-frontier re-enumeration instead of a
+	// full pass over the snapshot.
+	Delta bool
+	// DirtyShards / DirtyVertices size the diff a Delta cycle surveyed
+	// (for a full cycle: the whole snapshot's shard and author counts).
+	DirtyShards   int
+	DirtyVertices int
+	// CachedTriangles / ResurveyedTriangles split the published triangle
+	// census (pre T-score filter) into cache survivors and fresh
+	// enumerations; a full cycle reports everything as resurveyed.
+	CachedTriangles     int
+	ResurveyedTriangles int
+
+	// snap / btm are the immutable inputs the survey ran on, kept for
+	// same-package consumers: the score endpoint's group metrics and the
+	// equivalence oracle in tests. btm is nil without ValidateHypergraph.
+	snap *graph.CISnapshot
+	btm  *graph.BTM
 
 	// stamp identifies the exact stream state the survey saw; an equal
 	// stamp on the next cycle proves the graph and log are unchanged.
@@ -124,6 +169,26 @@ type surveyStamp struct {
 	watermark    int64
 }
 
+// surveyCache is the cross-cycle incremental survey state, owned by
+// surveyMu. Everything in it is immutable once stored: snap and pruned
+// are frozen snapshots, tris is never mutated after publication, and
+// hyper is only touched by the (serialized) next cycle.
+type surveyCache struct {
+	// snap is the snapshot the cached triangles were surveyed on — the
+	// version-vector baseline the next cycle diffs against.
+	snap *graph.CISnapshot
+	// pruned is snap thresholded at Config.edgeCut, reused shard-by-shard
+	// via ThresholdDelta so unchanged shards are never re-filtered.
+	pruned *graph.CISnapshot
+	// tris is the full weight-thresholded triangle census of pruned, in
+	// SortTriangles order and deliberately NOT T-score filtered: T depends
+	// on live page counts, so the filter runs downstream each cycle.
+	tris []tripoll.Triangle
+	// hyper memoizes Step-3 scores per triplet; entries touching a
+	// logDirty author are invalidated before reuse.
+	hyper map[hypergraph.Triplet]hypergraph.Score
+}
+
 // Service is the daemon. Create with NewService, start the background
 // goroutines with Start, serve Handler() over HTTP, stop with Close.
 type Service struct {
@@ -131,12 +196,22 @@ type Service struct {
 	authors *interner.Interner
 	pageIDs *interner.Interner
 
-	mu   sync.Mutex // guards proj and log
+	mu   sync.Mutex // guards proj, log, and logDirty
 	proj *stream.SlidingProjector
 	// log is the trailing-horizon comment ring Step 3 validates against
 	// (only when cfg.ValidateHypergraph).
 	log      []graph.Comment
 	logStart int
+	// logDirty accumulates authors whose windowed comment set changed
+	// (a comment ingested or aged out) since the last survey consumed it —
+	// exactly the authors whose hypergraph scores may have moved, so the
+	// survey invalidates their memoized triplets and keeps the rest.
+	logDirty map[graph.VertexID]bool
+
+	// surveyMu serializes survey cycles: they read-modify-write cache, the
+	// cross-cycle incremental state. Ingestion never takes this lock.
+	surveyMu sync.Mutex
+	cache    *surveyCache
 
 	queue  chan []graph.Comment
 	latest atomic.Pointer[SurveyResult]
@@ -148,6 +223,14 @@ type Service struct {
 	surveysReused atomic.Int64
 	surveyErrs    atomic.Int64
 	lastSurveyNS  atomic.Int64
+
+	deltaCycles         atomic.Int64
+	fullResurveys       atomic.Int64
+	trianglesCached     atomic.Int64
+	trianglesResurveyed atomic.Int64
+	hyperCacheHits      atomic.Int64
+	lastDirtyShards     atomic.Int64
+	lastDirtyVertices   atomic.Int64
 
 	metrics *metrics
 	started time.Time
@@ -265,8 +348,21 @@ func (s *Service) applyOne(c graph.Comment) {
 	s.ingested.Add(1)
 	if s.cfg.ValidateHypergraph {
 		s.log = append(s.log, c)
+		s.markHyperDirty(c.Author)
 		s.evictLogLocked()
 	}
+}
+
+// markHyperDirty records that a's windowed comment set changed. Caller
+// holds s.mu. No-op in FullResurvey mode, where nothing is memoized.
+func (s *Service) markHyperDirty(a graph.VertexID) {
+	if s.cfg.FullResurvey {
+		return
+	}
+	if s.logDirty == nil {
+		s.logDirty = make(map[graph.VertexID]bool)
+	}
+	s.logDirty[a] = true
 }
 
 // evictLogLocked drops logged comments outside the horizon. Caller holds
@@ -275,6 +371,7 @@ func (s *Service) applyOne(c graph.Comment) {
 func (s *Service) evictLogLocked() {
 	cut := s.proj.Watermark() - s.cfg.Horizon
 	for s.logStart < len(s.log) && s.log[s.logStart].TS <= cut {
+		s.markHyperDirty(s.log[s.logStart].Author)
 		s.logStart++
 	}
 	if s.logStart > 1024 && s.logStart*2 > len(s.log) {
@@ -321,13 +418,22 @@ func (s *Service) surveyLoop() {
 
 // SurveyNow runs one survey cycle synchronously: snapshot the live CI
 // graph under a brief lock — O(shards) copy-on-write, not a deep copy —
-// then run the batch survey/validation on the immutable snapshot and
-// publish the result. If the stream is idle (stamp unchanged since the
-// previous cycle) the previous result is republished with Reused set and
-// no graph work at all. Callable concurrently with ingestion (and with
-// the background loop, though cycles then interleave arbitrarily).
+// then survey the immutable snapshot and publish the result. If the
+// stream is idle (stamp unchanged since the previous cycle) the previous
+// result is republished with Reused set and no graph work at all.
+// Otherwise the cycle is incremental whenever a comparable previous
+// snapshot exists: the per-shard version vectors yield the dirty vertex
+// set, cached triangles touching none of them survive verbatim, the
+// dirty frontier is re-enumerated on the delta-thresholded graph, and
+// hypergraph validation reuses memoized triplet scores whose authors'
+// windowed comments are unchanged. Config.FullResurvey (or the first
+// cycle, or a shard-geometry change) runs the full O(edges) pass.
+// Callable concurrently with ingestion; concurrent calls serialize on
+// the survey cache.
 func (s *Service) SurveyNow() (*SurveyResult, error) {
 	start := time.Now()
+	s.surveyMu.Lock()
+	defer s.surveyMu.Unlock()
 
 	s.mu.Lock()
 	st := surveyStamp{
@@ -353,6 +459,8 @@ func (s *Service) SurveyNow() (*SurveyResult, error) {
 	if s.cfg.ValidateHypergraph && len(s.log)-s.logStart > 0 {
 		windowed = append(windowed, s.log[s.logStart:]...)
 	}
+	hyperDirty := s.logDirty
+	s.logDirty = nil
 	s.mu.Unlock()
 
 	// Heavy lifting happens outside the lock, on the copies.
@@ -360,7 +468,80 @@ func (s *Service) SurveyNow() (*SurveyResult, error) {
 	if windowed != nil {
 		btm = graph.BuildBTM(windowed, 0, 0)
 	}
-	res, err := pipeline.RunOnCI(ci, btm, pipeline.Config{
+
+	cut := s.cfg.edgeCut()
+	cache := s.cache
+	var (
+		dirty       map[graph.VertexID]bool
+		dirtyShards int
+		delta       bool
+	)
+	if !s.cfg.FullResurvey && cache != nil {
+		dirty, dirtyShards, delta = ci.DirtyVertices(cache.snap)
+	}
+
+	var (
+		pruned               *graph.CISnapshot
+		tris                 []tripoll.Triangle
+		cachedN, resurveyedN int
+	)
+	sopts := tripoll.Options{MinTriangleWeight: s.cfg.MinTriangleWeight, Ranks: s.cfg.Ranks}
+	if delta {
+		// Incremental path. A triangle's weights changed only if one of
+		// its edges did, which dirties both endpoints — so cached
+		// triangles with no dirty vertex are exact on the new graph, and
+		// the dirty-frontier enumeration supplies everything else. The
+		// two sets partition the new census: SurveyDirty emits precisely
+		// the triangles with >= 1 dirty vertex.
+		pruned = ci.ThresholdDelta(cache.snap, cache.pruned, cut)
+		kept := make([]tripoll.Triangle, 0, len(cache.tris))
+		for _, tr := range cache.tris {
+			if dirty[tr.X] || dirty[tr.Y] || dirty[tr.Z] {
+				continue
+			}
+			kept = append(kept, tr)
+		}
+		var fresh []tripoll.Triangle
+		o := tripoll.Orient(pruned.BuildAdjacency())
+		o.SurveyDirty(sopts, dirty, nil, func(tr tripoll.Triangle) {
+			fresh = append(fresh, tr)
+		})
+		tripoll.SortTriangles(fresh)
+		tris = tripoll.MergeSorted(kept, fresh)
+		cachedN, resurveyedN = len(kept), len(fresh)
+	} else {
+		// Full path: threshold and enumerate the whole snapshot. The
+		// T-score cut stays out of the survey so the cached census stays
+		// valid as page counts drift; RunOnTriangles applies it downstream.
+		pruned = ci.ThresholdView(cut).(*graph.CISnapshot)
+		if s.cfg.Sequential {
+			tripoll.SurveySequential(pruned, sopts, func(tr tripoll.Triangle) {
+				tris = append(tris, tr)
+			})
+			tripoll.SortTriangles(tris)
+		} else {
+			tris = tripoll.Survey(pruned, sopts)
+		}
+		resurveyedN = len(tris)
+	}
+
+	// Step-3 memo: drop scores whose authors' windowed comments changed,
+	// then let RunOnTriangles fill the misses.
+	var hyper map[hypergraph.Triplet]hypergraph.Score
+	if s.cfg.ValidateHypergraph && !s.cfg.FullResurvey {
+		if cache != nil && cache.hyper != nil {
+			hyper = cache.hyper
+			for t := range hyper {
+				if hyperDirty[t.X] || hyperDirty[t.Y] || hyperDirty[t.Z] {
+					delete(hyper, t)
+				}
+			}
+		} else {
+			hyper = make(map[hypergraph.Triplet]hypergraph.Score)
+		}
+	}
+
+	res, err := pipeline.RunOnTriangles(ci, pruned, tris, btm, pipeline.Config{
 		Window:            s.cfg.Window,
 		MinEdgeWeight:     s.cfg.MinEdgeWeight,
 		MinTriangleWeight: s.cfg.MinTriangleWeight,
@@ -368,20 +549,46 @@ func (s *Service) SurveyNow() (*SurveyResult, error) {
 		Ranks:             s.cfg.Ranks,
 		Sequential:        s.cfg.Sequential,
 		SkipHypergraph:    !s.cfg.ValidateHypergraph,
-	})
+	}, hyper)
 	if err != nil {
+		// Put the consumed dirty-author set back so the memo stays sound
+		// for the next attempt.
+		s.mu.Lock()
+		for a := range hyperDirty {
+			s.markHyperDirty(a)
+		}
+		s.mu.Unlock()
 		return nil, err
 	}
+	s.cache = &surveyCache{snap: ci, pruned: pruned, tris: tris, hyper: hyper}
+
 	sr := &SurveyResult{
-		Cycle:     s.cycles.Add(1),
-		Watermark: wm,
-		TakenAt:   start,
-		Duration:  time.Since(start),
-		Edges:     ci.NumEdges(),
-		Vertices:  ci.NumVertices(),
-		Result:    res,
-		stamp:     st,
+		Cycle:               s.cycles.Add(1),
+		Watermark:           wm,
+		TakenAt:             start,
+		Duration:            time.Since(start),
+		Edges:               ci.NumEdges(),
+		Vertices:            ci.NumAuthors(),
+		Result:              res,
+		Delta:               delta,
+		CachedTriangles:     cachedN,
+		ResurveyedTriangles: resurveyedN,
+		snap:                ci,
+		btm:                 btm,
+		stamp:               st,
 	}
+	if delta {
+		sr.DirtyShards, sr.DirtyVertices = dirtyShards, len(dirty)
+		s.deltaCycles.Add(1)
+	} else {
+		sr.DirtyShards, sr.DirtyVertices = ci.NumShards(), sr.Vertices
+		s.fullResurveys.Add(1)
+	}
+	s.lastDirtyShards.Store(int64(sr.DirtyShards))
+	s.lastDirtyVertices.Store(int64(sr.DirtyVertices))
+	s.trianglesCached.Add(int64(cachedN))
+	s.trianglesResurveyed.Add(int64(resurveyedN))
+	s.hyperCacheHits.Add(int64(res.HyperCacheHits))
 	s.lastSurveyNS.Store(int64(sr.Duration))
 	s.latest.Store(sr)
 	return sr, nil
@@ -399,6 +606,26 @@ func (s *Service) Cycles() int64 { return s.cycles.Load() }
 // SurveysReused returns the number of cycles that republished the
 // previous result because the stream was idle.
 func (s *Service) SurveysReused() int64 { return s.surveysReused.Load() }
+
+// DeltaCycles returns the number of survey cycles that ran the
+// incremental path (dirty-frontier re-enumeration over a cached census).
+func (s *Service) DeltaCycles() int64 { return s.deltaCycles.Load() }
+
+// FullResurveys returns the number of cycles that enumerated the whole
+// snapshot (first cycles, incomparable snapshots, or FullResurvey mode).
+func (s *Service) FullResurveys() int64 { return s.fullResurveys.Load() }
+
+// TrianglesCached returns the cumulative count of triangles carried over
+// from the previous cycle's census without re-enumeration.
+func (s *Service) TrianglesCached() int64 { return s.trianglesCached.Load() }
+
+// TrianglesResurveyed returns the cumulative count of triangles emitted
+// by survey enumeration (full passes and dirty frontiers alike).
+func (s *Service) TrianglesResurveyed() int64 { return s.trianglesResurveyed.Load() }
+
+// HyperCacheHits returns the cumulative count of Step-3 validations
+// served from the cross-cycle triplet memo.
+func (s *Service) HyperCacheHits() int64 { return s.hyperCacheHits.Load() }
 
 // Snapshot of live-side gauges for the stats endpoint.
 type liveStats struct {

@@ -6,9 +6,14 @@
 //	                      503 while shutting down.
 //	GET  /v1/triangles  — latest survey cycle. ?min_t=0.5 filters on the
 //	                      T score, ?limit=50 truncates.
-//	GET  /v1/score      — ?users=a,b,c: live pairwise CI weights, P'
-//	                      counts, and for exactly three users the triangle
-//	                      min-weight and T score.
+//	GET  /v1/score      — ?users=a,b,...: live P' counts for up to 512
+//	                      users, pairwise CI weights for up to 64, group
+//	                      metrics w_S / C(S) against the latest survey's
+//	                      windowed comment log, and for exactly three
+//	                      users the triangle min-weight and T score —
+//	                      served from the survey's cached triangle census
+//	                      when the triplet is in it, live point reads
+//	                      otherwise.
 //	GET  /v1/stats      — ingest counters, live-graph gauges, survey
 //	                      cadence, per-endpoint latency/throughput.
 //	GET  /healthz       — liveness (503 once shutdown has begun).
@@ -26,6 +31,7 @@ import (
 	"time"
 
 	"coordbot/internal/graph"
+	"coordbot/internal/hypergraph"
 )
 
 // maxIngestBody bounds one ingest request (64 MiB of JSON).
@@ -84,6 +90,16 @@ type StatsOut struct {
 	SurveyErrors     int64   `json:"survey_errors"`
 	LastSurveyMS     float64 `json:"last_survey_ms"`
 	LastTriangles    int     `json:"last_triangles"`
+	// Incremental-survey counters: cycles split by path, cumulative
+	// triangle cache reuse vs re-enumeration, Step-3 memo hits, and the
+	// size of the last cycle's dirty diff.
+	DeltaCycles         int64 `json:"delta_cycles"`
+	FullResurveys       int64 `json:"full_resurveys"`
+	TrianglesCached     int64 `json:"triangles_cached"`
+	TrianglesResurveyed int64 `json:"triangles_resurveyed"`
+	HyperCacheHits      int64 `json:"hyper_cache_hits"`
+	LastDirtyShards     int64 `json:"last_dirty_shards"`
+	LastDirtyVertices   int64 `json:"last_dirty_vertices"`
 
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 }
@@ -305,15 +321,45 @@ func (s *Service) nameOf(id graph.VertexID) string {
 	return fmt.Sprintf("#%d", id)
 }
 
+// scoreMaxUsers / scorePairUsers bound the /v1/score query: page counts
+// and group metrics scale linearly and are served up to scoreMaxUsers;
+// the pairwise weight matrix is quadratic, so it is only materialized up
+// to scorePairUsers.
+const (
+	scoreMaxUsers  = 512
+	scorePairUsers = 64
+)
+
 // ScoreOut is the /v1/score response.
 type ScoreOut struct {
 	Users      []string          `json:"users"`
 	Unknown    []string          `json:"unknown,omitempty"`
 	PageCounts map[string]uint32 `json:"page_counts"`
-	Pairs      []PairOut         `json:"pairs"`
-	// MinWeight / T are set for exactly three known users.
+	// Pairs is the pairwise CI weight matrix, present only for up to 64
+	// users (it is quadratic in the group size).
+	Pairs []PairOut `json:"pairs,omitempty"`
+	// MinWeight / T are set for exactly three known users. Source reports
+	// where they came from: "survey" when the triplet was found in the
+	// latest cycle's triangle census (as-of that cycle's watermark),
+	// "live" when computed from current point reads.
 	MinWeight *uint32  `json:"min_weight,omitempty"`
 	T         *float64 `json:"t,omitempty"`
+	Source    string   `json:"source,omitempty"`
+	// Group carries the generalized group metrics w_S (pages every member
+	// commented on) and C(S) (equation 4 extended to k members), computed
+	// against the latest survey's windowed comment log. Present only when
+	// the daemon validates hypergraphs and a survey has completed.
+	Group *GroupOut `json:"group,omitempty"`
+}
+
+// GroupOut is the group-metric block of a score response.
+type GroupOut struct {
+	// Size is the deduplicated group size.
+	Size int `json:"size"`
+	// Watermark is the event time of the survey the metrics are as of.
+	Watermark int64    `json:"watermark"`
+	WS        int      `json:"w_s"`
+	CS        *float64 `json:"c_s,omitempty"`
 }
 
 // PairOut is one pairwise CI weight.
@@ -334,8 +380,8 @@ func (s *Service) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	names := strings.Split(raw, ",")
-	if len(names) < 2 || len(names) > 64 {
-		writeErr(w, http.StatusBadRequest, "need 2..64 users, got %d", len(names))
+	if len(names) < 2 || len(names) > scoreMaxUsers {
+		writeErr(w, http.StatusBadRequest, "need 2..%d users, got %d", scoreMaxUsers, len(names))
 		return
 	}
 	out := ScoreOut{Users: names, PageCounts: make(map[string]uint32)}
@@ -359,30 +405,107 @@ func (s *Service) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, out)
 		return
 	}
-	weights, counts := s.PairScore(ids)
-	for i, n := range names {
-		out.PageCounts[n] = counts[i]
+
+	if len(names) == 3 {
+		s.scoreTriple(&out, ids)
 	}
-	var minW uint32
-	first := true
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			wgt := weights[[2]int{i, j}]
-			out.Pairs = append(out.Pairs, PairOut{U: names[i], V: names[j], Weight: wgt})
-			if first || wgt < minW {
-				minW, first = wgt, false
+	if len(names) <= scorePairUsers {
+		weights, counts := s.PairScore(ids)
+		for i, n := range names {
+			out.PageCounts[n] = counts[i]
+		}
+		var minW uint32
+		first := true
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				wgt := weights[[2]int{i, j}]
+				out.Pairs = append(out.Pairs, PairOut{U: names[i], V: names[j], Weight: wgt})
+				if first || wgt < minW {
+					minW, first = wgt, false
+				}
 			}
 		}
-	}
-	if len(names) == 3 {
-		den := float64(counts[0]) + float64(counts[1]) + float64(counts[2])
-		t := 0.0
-		if den > 0 {
-			t = 3 * float64(minW) / den
+		if len(names) == 3 && out.MinWeight == nil {
+			den := float64(counts[0]) + float64(counts[1]) + float64(counts[2])
+			t := 0.0
+			if den > 0 {
+				t = 3 * float64(minW) / den
+			}
+			out.MinWeight, out.T, out.Source = &minW, &t, "live"
 		}
-		out.MinWeight, out.T = &minW, &t
+	} else {
+		// Too many users for the quadratic pair matrix: page counts only.
+		for i, n := range names {
+			out.PageCounts[n] = s.proj.PageCount(ids[i])
+		}
 	}
+	s.scoreGroup(&out, ids)
 	writeJSON(w, http.StatusOK, out)
+}
+
+// scoreTriple fills MinWeight/T from the latest survey's triangle census
+// when the triplet is in it: a binary search over the (X, Y, Z)-sorted
+// results instead of three live edge reads. Misses (no survey yet, or the
+// triplet fell below a threshold) leave out untouched for the live path.
+func (s *Service) scoreTriple(out *ScoreOut, ids []graph.VertexID) {
+	sr := s.Latest()
+	if sr == nil {
+		return
+	}
+	x, y, z := ids[0], ids[1], ids[2]
+	if y < x {
+		x, y = y, x
+	}
+	if z < y {
+		y, z = z, y
+		if y < x {
+			x, y = y, x
+		}
+	}
+	tris := sr.Result.Triangles
+	i := sort.Search(len(tris), func(i int) bool {
+		tr := tris[i]
+		if tr.X != x {
+			return tr.X > x
+		}
+		if tr.Y != y {
+			return tr.Y > y
+		}
+		return tr.Z >= z
+	})
+	if i >= len(tris) || tris[i].X != x || tris[i].Y != y || tris[i].Z != z {
+		return
+	}
+	mw, t := tris[i].MinWeight(), tris[i].T
+	out.MinWeight, out.T, out.Source = &mw, &t, "survey"
+}
+
+// scoreGroup fills the group-metric block from the latest survey's
+// windowed BTM. Authors outside the BTM (interned but silent within the
+// horizon) force w_S = 0 without touching it.
+func (s *Service) scoreGroup(out *ScoreOut, ids []graph.VertexID) {
+	sr := s.Latest()
+	if sr == nil || sr.btm == nil {
+		return
+	}
+	g := hypergraph.NewGroup(ids...)
+	go2 := &GroupOut{Size: len(g), Watermark: sr.Watermark}
+	inRange := true
+	for _, m := range g {
+		if int(m) >= sr.btm.NumAuthors() {
+			inRange = false
+			break
+		}
+	}
+	if inRange {
+		go2.WS = hypergraph.GroupWeight(sr.btm, g)
+		cs := hypergraph.GroupCScore(sr.btm, g)
+		go2.CS = &cs
+	} else {
+		cs := 0.0
+		go2.CS = &cs
+	}
+	out.Group = go2
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -412,7 +535,16 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shards:           s.proj.NumShards(),
 		SurveyErrors:     s.surveyErrs.Load(),
 		LastSurveyMS:     float64(s.lastSurveyNS.Load()) / 1e6,
-		Endpoints:        s.metrics.snapshot(),
+
+		DeltaCycles:         s.deltaCycles.Load(),
+		FullResurveys:       s.fullResurveys.Load(),
+		TrianglesCached:     s.trianglesCached.Load(),
+		TrianglesResurveyed: s.trianglesResurveyed.Load(),
+		HyperCacheHits:      s.hyperCacheHits.Load(),
+		LastDirtyShards:     s.lastDirtyShards.Load(),
+		LastDirtyVertices:   s.lastDirtyVertices.Load(),
+
+		Endpoints: s.metrics.snapshot(),
 	}
 	if sr := s.Latest(); sr != nil {
 		out.LastTriangles = len(sr.Result.Triangles)

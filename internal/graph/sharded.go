@@ -35,6 +35,10 @@ import (
 // (one pointer grab per shard) stays trivial.
 const DefaultShards = 64
 
+// storeIDs hands out a unique identity per ShardedCI so snapshot diffs
+// can refuse to compare versions across unrelated stores.
+var storeIDs atomic.Uint64
+
 // mix64 is the splitmix64 finalizer — the shard router. Edge keys are
 // (u<<32|v) with correlated low bits, so a full-avalanche mix is needed
 // for even striping.
@@ -78,6 +82,9 @@ func (sh *ciShard) own() {
 type ShardedCI struct {
 	shards []ciShard
 	mask   uint64
+	// id is the store identity; snapshots carry it so per-shard version
+	// comparisons are only made between snapshots of the same store.
+	id uint64
 	// version aggregates mutations across shards (read lock-free by the
 	// daemon's idle-survey check).
 	version atomic.Uint64
@@ -93,7 +100,7 @@ func NewShardedCI(n int) *ShardedCI {
 	for p < n {
 		p <<= 1
 	}
-	g := &ShardedCI{shards: make([]ciShard, p), mask: uint64(p - 1)}
+	g := &ShardedCI{shards: make([]ciShard, p), mask: uint64(p - 1), id: storeIDs.Add(1)}
 	for i := range g.shards {
 		g.shards[i].edges = make(map[uint64]uint32)
 		g.shards[i].pages = make(map[VertexID]uint32)
@@ -215,6 +222,66 @@ func (g *ShardedCI) MergeShardDelta(i int, edges map[uint64]uint32, pages map[Ve
 	g.version.Add(1)
 }
 
+// SubShardDelta withdraws a pre-aggregated delta from shard i: every edge
+// weight and page count is decremented under a single lock acquisition,
+// with entries deleted at zero — the batch counterpart of SubEdgeWeight /
+// SubPageCount used by the sliding projector's shard-grouped eviction.
+// The shard's dirty version advances once per wave, not once per pair, so
+// downstream delta surveys see one coherent dirty unit. Panics on
+// underflow, and on keys routed to the wrong shard the same silent-
+// corruption caveat as MergeShardDelta applies.
+func (g *ShardedCI) SubShardDelta(i int, edges map[uint64]uint32, pages map[VertexID]uint32) {
+	if len(edges) == 0 && len(pages) == 0 {
+		return
+	}
+	sh := &g.shards[i]
+	sh.mu.Lock()
+	sh.own()
+	for key, w := range edges {
+		cur, ok := sh.edges[key]
+		if !ok || cur < w {
+			sh.mu.Unlock()
+			u, v := UnpackEdge(key)
+			panic(fmt.Sprintf("graph: edge {%d,%d} weight underflow (%d - %d)", u, v, cur, w))
+		}
+		if cur == w {
+			delete(sh.edges, key)
+		} else {
+			sh.edges[key] = cur - w
+		}
+	}
+	for v, n := range pages {
+		cur, ok := sh.pages[v]
+		if !ok || cur < n {
+			sh.mu.Unlock()
+			panic(fmt.Sprintf("graph: author %d page count underflow (%d - %d)", v, cur, n))
+		}
+		if cur == n {
+			delete(sh.pages, v)
+		} else {
+			sh.pages[v] = cur - n
+		}
+	}
+	sh.version++
+	sh.mu.Unlock()
+	g.version.Add(1)
+}
+
+// UpdateShard runs fn on shard i's maps under the shard's write lock,
+// after copy-on-write ownership is ensured — the generic merge primitive
+// for batch loaders that pre-aggregate per-shard updates (e.g. the flat
+// append-log merge of ProjectSharded). fn must only touch keys that route
+// to shard i (EdgeShard/VertexShard) and must not retain the maps.
+func (g *ShardedCI) UpdateShard(i int, fn func(edges map[uint64]uint32, pages map[VertexID]uint32)) {
+	sh := &g.shards[i]
+	sh.mu.Lock()
+	sh.own()
+	fn(sh.edges, sh.pages)
+	sh.version++
+	sh.mu.Unlock()
+	g.version.Add(1)
+}
+
 // Snapshot returns a copy-on-write snapshot: O(shards) regardless of graph
 // size. The snapshot is immutable; the live store clones a shard's maps
 // before its next mutation to that shard. See the package comment for the
@@ -226,6 +293,7 @@ func (g *ShardedCI) Snapshot() *CISnapshot {
 		pages:    make([]map[VertexID]uint32, p),
 		versions: make([]uint64, p),
 		mask:     g.mask,
+		storeID:  g.id,
 	}
 	for i := range g.shards {
 		sh := &g.shards[i]
@@ -349,6 +417,9 @@ type CISnapshot struct {
 	pages    []map[VertexID]uint32
 	versions []uint64
 	mask     uint64
+	// storeID identifies the ShardedCI this snapshot came from; version
+	// vectors are only comparable between snapshots of the same store.
+	storeID uint64
 }
 
 // NumShards returns the shard count.
@@ -360,6 +431,89 @@ func (s *CISnapshot) NumShards() int { return len(s.edges) }
 func (s *CISnapshot) ShardVersions() []uint64 {
 	out := make([]uint64, len(s.versions))
 	copy(out, s.versions)
+	return out
+}
+
+// DirtyVertices diffs s against an earlier snapshot prev of the same
+// store: it returns the set of vertices incident to any edge added,
+// evicted, or reweighted between the two snapshots — the dirty frontier a
+// delta survey re-enumerates — plus the number of shards whose version
+// advanced. Shards with an equal version share their maps by reference
+// (the COW invariant) and are skipped without diffing, so the cost is
+// proportional to the dirtied shards, not the snapshot. ok is false when
+// the snapshots are not comparable (nil prev, a different store, or
+// different shard geometry); callers must then fall back to a full
+// survey. Page-count-only mutations dirty a shard's version but introduce
+// no dirty vertices: P' drift never changes the triangle set, only the
+// scores computed downstream from live page counts.
+func (s *CISnapshot) DirtyVertices(prev *CISnapshot) (dirty map[VertexID]bool, dirtyShards int, ok bool) {
+	if prev == nil || prev.storeID != s.storeID || prev.mask != s.mask ||
+		len(prev.edges) != len(s.edges) {
+		return nil, 0, false
+	}
+	dirty = make(map[VertexID]bool)
+	for i := range s.edges {
+		if s.versions[i] == prev.versions[i] {
+			continue
+		}
+		dirtyShards++
+		cur, old := s.edges[i], prev.edges[i]
+		for key, w := range cur {
+			if old[key] != w {
+				u, v := UnpackEdge(key)
+				dirty[u], dirty[v] = true, true
+			}
+		}
+		for key := range old {
+			if _, live := cur[key]; !live {
+				u, v := UnpackEdge(key)
+				dirty[u], dirty[v] = true, true
+			}
+		}
+	}
+	return dirty, dirtyShards, true
+}
+
+// ThresholdDelta computes ThresholdView(minW) incrementally: shards
+// unchanged since prev reuse prevPruned's already-filtered map by
+// reference, and only dirtied shards are re-filtered — O(dirtied shards)
+// instead of O(edges) per survey cycle. prevPruned must be the minW
+// threshold of prev (a prior ThresholdView/ThresholdDelta product); when
+// the snapshots are not comparable the full ThresholdView runs instead,
+// so the result is always exactly ThresholdView(minW) of s.
+func (s *CISnapshot) ThresholdDelta(prev, prevPruned *CISnapshot, minW uint32) *CISnapshot {
+	if minW <= 1 {
+		return s
+	}
+	if prev == nil || prevPruned == nil ||
+		prev.storeID != s.storeID || prevPruned.storeID != s.storeID ||
+		prev.mask != s.mask || prevPruned.mask != s.mask ||
+		len(prev.edges) != len(s.edges) || len(prevPruned.edges) != len(s.edges) {
+		return s.ThresholdView(minW).(*CISnapshot)
+	}
+	p := len(s.edges)
+	out := &CISnapshot{
+		edges:    make([]map[uint64]uint32, p),
+		pages:    s.pages,
+		versions: s.versions,
+		mask:     s.mask,
+		storeID:  s.storeID,
+	}
+	for i := 0; i < p; i++ {
+		// Reuse demands the shard be unchanged since prev AND prevPruned
+		// actually be prev's pruning of it (version match both ways).
+		if s.versions[i] == prev.versions[i] && prevPruned.versions[i] == prev.versions[i] {
+			out.edges[i] = prevPruned.edges[i]
+			continue
+		}
+		kept := make(map[uint64]uint32)
+		for key, w := range s.edges[i] {
+			if w >= minW {
+				kept[key] = w
+			}
+		}
+		out.edges[i] = kept
+	}
 	return out
 }
 
@@ -475,6 +629,7 @@ func (s *CISnapshot) ThresholdView(minW uint32) CIView {
 		pages:    s.pages,
 		versions: s.versions,
 		mask:     s.mask,
+		storeID:  s.storeID,
 	}
 	parallelShards(p, func(i int) {
 		kept := make(map[uint64]uint32)

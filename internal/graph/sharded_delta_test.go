@@ -1,0 +1,277 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// bruteDirty diffs two snapshots edge-by-edge over the whole graph: every
+// endpoint of an edge whose weight differs (including appear/disappear) is
+// dirty. The oracle DirtyVertices must match while only touching the
+// shards whose versions moved.
+func bruteDirty(cur, prev *CISnapshot) map[VertexID]bool {
+	dirty := make(map[VertexID]bool)
+	curW := make(map[uint64]uint32)
+	for _, m := range cur.edges {
+		for k, w := range m {
+			curW[k] = w
+		}
+	}
+	prevW := make(map[uint64]uint32)
+	for _, m := range prev.edges {
+		for k, w := range m {
+			prevW[k] = w
+		}
+	}
+	for k, w := range curW {
+		if prevW[k] != w {
+			u, v := UnpackEdge(k)
+			dirty[u], dirty[v] = true, true
+		}
+	}
+	for k := range prevW {
+		if _, live := curW[k]; !live {
+			u, v := UnpackEdge(k)
+			dirty[u], dirty[v] = true, true
+		}
+	}
+	return dirty
+}
+
+// TestDirtyVerticesMatchesBruteDiff: under random mutation bursts between
+// snapshots, the version-vector diff finds exactly the endpoints of
+// changed edges, and reports no more dirty shards than the store has.
+func TestDirtyVerticesMatchesBruteDiff(t *testing.T) {
+	for _, shards := range []int{1, 8, 64} {
+		for seed := int64(0); seed < 4; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			g := NewShardedCI(shards)
+			ref := NewCIGraph()
+			weights := make(map[uint64]uint32)
+			pages := make(map[VertexID]uint32)
+			for i := 0; i < 400; i++ {
+				applyRandomOp(rng, g, ref, weights, pages)
+			}
+			prev := g.Snapshot()
+			for burst := 0; burst < 6; burst++ {
+				for i := 0; i < rng.Intn(40); i++ {
+					applyRandomOp(rng, g, ref, weights, pages)
+				}
+				cur := g.Snapshot()
+				dirty, dirtyShards, ok := cur.DirtyVertices(prev)
+				if !ok {
+					t.Fatalf("shards=%d seed=%d: same-store snapshots incomparable", shards, seed)
+				}
+				if dirtyShards > g.NumShards() {
+					t.Fatalf("dirtyShards %d > shards %d", dirtyShards, g.NumShards())
+				}
+				if want := bruteDirty(cur, prev); !reflect.DeepEqual(dirty, want) {
+					t.Fatalf("shards=%d seed=%d burst=%d: dirty set %v != brute diff %v",
+						shards, seed, burst, dirty, want)
+				}
+				prev = cur
+			}
+			// Idle store: zero dirty shards, empty dirty set.
+			cur := g.Snapshot()
+			dirty, dirtyShards, ok := cur.DirtyVertices(prev)
+			if !ok || dirtyShards != 0 || len(dirty) != 0 {
+				t.Fatalf("idle diff: ok=%v dirtyShards=%d |dirty|=%d", ok, dirtyShards, len(dirty))
+			}
+		}
+	}
+}
+
+// TestDirtyVerticesIncomparable: diffs against nil, another store, or a
+// different shard geometry refuse with ok=false.
+func TestDirtyVerticesIncomparable(t *testing.T) {
+	g := NewShardedCI(8)
+	g.AddEdgeWeight(1, 2, 3)
+	s := g.Snapshot()
+	if _, _, ok := s.DirtyVertices(nil); ok {
+		t.Fatal("nil prev comparable")
+	}
+	other := NewShardedCI(8)
+	other.AddEdgeWeight(1, 2, 3)
+	if _, _, ok := s.DirtyVertices(other.Snapshot()); ok {
+		t.Fatal("snapshot of a different store comparable")
+	}
+	narrow := NewShardedCI(4)
+	narrow.AddEdgeWeight(1, 2, 3)
+	if _, _, ok := s.DirtyVertices(narrow.Snapshot()); ok {
+		t.Fatal("different shard geometry comparable")
+	}
+}
+
+// TestThresholdDeltaMatchesThresholdView chains delta prunings across
+// random mutation bursts: every link must equal the from-scratch
+// ThresholdView, clean shards must be reused by reference, and
+// incomparable inputs must fall back to the full filter.
+func TestThresholdDeltaMatchesThresholdView(t *testing.T) {
+	const minW = 3
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewShardedCI(16)
+		ref := NewCIGraph()
+		weights := make(map[uint64]uint32)
+		pages := make(map[VertexID]uint32)
+		for i := 0; i < 400; i++ {
+			applyRandomOp(rng, g, ref, weights, pages)
+		}
+		prev := g.Snapshot()
+		prevPruned := prev.ThresholdView(minW).(*CISnapshot)
+		for burst := 0; burst < 6; burst++ {
+			for i := 0; i < rng.Intn(40); i++ {
+				applyRandomOp(rng, g, ref, weights, pages)
+			}
+			cur := g.Snapshot()
+			pruned := cur.ThresholdDelta(prev, prevPruned, minW)
+			if want := cur.ThresholdView(minW); !pruned.Equal(want) {
+				t.Fatalf("seed=%d burst=%d: ThresholdDelta != ThresholdView", seed, burst)
+			}
+			for i := range cur.edges {
+				if cur.versions[i] == prev.versions[i] &&
+					reflect.ValueOf(pruned.edges[i]).Pointer() != reflect.ValueOf(prevPruned.edges[i]).Pointer() {
+					t.Fatalf("seed=%d burst=%d: clean shard %d re-filtered", seed, burst, i)
+				}
+			}
+			prev, prevPruned = cur, pruned
+		}
+		// minW <= 1 is the identity.
+		cur := g.Snapshot()
+		if cur.ThresholdDelta(prev, prevPruned, 1) != cur {
+			t.Fatal("ThresholdDelta(1) is not the snapshot itself")
+		}
+		// Incomparable baselines still produce the exact pruning.
+		other := NewShardedCI(16)
+		other.AddEdgeWeight(1, 2, 9)
+		os := other.Snapshot()
+		if got := cur.ThresholdDelta(os, os.ThresholdView(minW).(*CISnapshot), minW); !got.Equal(cur.ThresholdView(minW)) {
+			t.Fatal("incomparable-baseline delta != full ThresholdView")
+		}
+		if got := cur.ThresholdDelta(nil, nil, minW); !got.Equal(cur.ThresholdView(minW)) {
+			t.Fatal("nil-baseline delta != full ThresholdView")
+		}
+	}
+}
+
+// TestSubShardDelta: a batched per-shard decrement wave equals the same
+// decrements applied pairwise, bumps each touched shard's version exactly
+// once, and panics on underflow like SubEdgeWeight.
+func TestSubShardDelta(t *testing.T) {
+	g := NewShardedCI(8)
+	ref := NewCIGraph()
+	for u := VertexID(0); u < 30; u++ {
+		for v := u + 1; v < 30; v += 3 {
+			g.AddEdgeWeight(u, v, 5)
+			ref.AddEdgeWeight(u, v, 5)
+		}
+		g.AddPageCount(u, 4)
+		ref.AddPageCount(u, 4)
+	}
+
+	// Build a decrement wave: some partial, some delete-at-zero.
+	edgeDec := make(map[uint64]uint32)
+	pageDec := make(map[VertexID]uint32)
+	rng := rand.New(rand.NewSource(11))
+	ref.ForEachEdge(func(u, v VertexID, w uint32) bool {
+		if rng.Intn(2) == 0 {
+			edgeDec[PackEdge(u, v)] = uint32(rng.Intn(int(w))) + 1
+		}
+		return true
+	})
+	for u := VertexID(0); u < 30; u += 2 {
+		pageDec[u] = uint32(rng.Intn(4)) + 1
+	}
+
+	// Group by shard, apply one wave per shard, mirror into the reference.
+	byShardE := make(map[int]map[uint64]uint32)
+	byShardP := make(map[int]map[VertexID]uint32)
+	for k, w := range edgeDec {
+		i := g.EdgeShard(k)
+		if byShardE[i] == nil {
+			byShardE[i] = make(map[uint64]uint32)
+		}
+		byShardE[i][k] = w
+	}
+	for v, n := range pageDec {
+		i := g.VertexShard(v)
+		if byShardP[i] == nil {
+			byShardP[i] = make(map[VertexID]uint32)
+		}
+		byShardP[i][v] = n
+	}
+	touched := make(map[int]bool)
+	for i := range byShardE {
+		touched[i] = true
+	}
+	for i := range byShardP {
+		touched[i] = true
+	}
+	before := g.Version()
+	for i := range touched {
+		g.SubShardDelta(i, byShardE[i], byShardP[i])
+	}
+	if bumps := g.Version() - before; bumps != uint64(len(touched)) {
+		t.Fatalf("wave bumped version %d times over %d touched shards", bumps, len(touched))
+	}
+	for k, w := range edgeDec {
+		u, v := UnpackEdge(k)
+		ref.SubEdgeWeight(u, v, w)
+	}
+	for v, n := range pageDec {
+		ref.SubPageCount(v, n)
+	}
+	if !ref.Equal(g) {
+		t.Fatal("batched shard decrements diverged from pairwise reference")
+	}
+
+	// Underflow panics, mirroring SubEdgeWeight / SubPageCount.
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic on underflow", name)
+			}
+		}()
+		fn()
+	}
+	key := PackEdge(200, 201)
+	g.AddEdgeWeight(200, 201, 1)
+	mustPanic("edge underflow", func() {
+		g.SubShardDelta(g.EdgeShard(key), map[uint64]uint32{key: 2}, nil)
+	})
+	mustPanic("page underflow", func() {
+		g.SubShardDelta(g.VertexShard(250), nil, map[VertexID]uint32{250: 1})
+	})
+}
+
+// TestUpdateShardCOW: UpdateShard mutations respect snapshot isolation
+// and bump the shard version (so DirtyVertices sees them).
+func TestUpdateShardCOW(t *testing.T) {
+	g := NewShardedCI(4)
+	g.AddEdgeWeight(1, 2, 7)
+	s1 := g.Snapshot()
+	key := PackEdge(1, 2)
+	i := g.EdgeShard(key)
+	// A page vertex owned by the same shard (fn only sees that shard's maps).
+	pv := VertexID(0)
+	for g.VertexShard(pv) != i {
+		pv++
+	}
+	g.UpdateShard(i, func(edges map[uint64]uint32, pages map[VertexID]uint32) {
+		edges[key] += 3
+		pages[pv] = 2
+	})
+	if s1.Weight(1, 2) != 7 {
+		t.Fatalf("frozen snapshot saw UpdateShard mutation: weight %d", s1.Weight(1, 2))
+	}
+	if g.Weight(1, 2) != 10 || g.PageCount(pv) != 2 {
+		t.Fatalf("UpdateShard lost writes: weight %d, page %d", g.Weight(1, 2), g.PageCount(pv))
+	}
+	s2 := g.Snapshot()
+	dirty, dirtyShards, ok := s2.DirtyVertices(s1)
+	if !ok || dirtyShards == 0 || !dirty[1] || !dirty[2] {
+		t.Fatalf("UpdateShard invisible to DirtyVertices: ok=%v shards=%d dirty=%v", ok, dirtyShards, dirty)
+	}
+}

@@ -50,6 +50,12 @@ type Config struct {
 	// single-threaded reference implementations instead.
 	Ranks      int
 	Sequential bool
+	// Sharded projects Step 1 into the lock-striped ShardedCI store via
+	// the owner-computes merge (projection.ProjectSharded) instead of the
+	// map-backed graph — the batch path over the same store the streaming
+	// daemon runs on. Steps 2–3 are unaffected (they consume the CIView
+	// interface) and still honor Sequential/Ranks.
+	Sharded bool
 	// SkipHypergraph skips Step 3 (for projection/survey-only studies).
 	SkipHypergraph bool
 }
@@ -88,7 +94,10 @@ type Result struct {
 	Components []graph.Component
 	// Triangles that survived the survey, each with hypergraph scores.
 	Triangles []TriangleResult
-	Timings   Timings
+	// HyperCacheHits counts Step-3 evaluations served from the caller's
+	// cross-cycle cache (RunOnTriangles only; 0 elsewhere).
+	HyperCacheHits int
+	Timings        Timings
 }
 
 // Run executes the three-step pipeline on b.
@@ -100,12 +109,15 @@ func Run(b *graph.BTM, cfg Config) (*Result, error) {
 
 	// Step 1: projection.
 	t0 := time.Now()
-	var ci *graph.CIGraph
+	var ci graph.CIView
 	var err error
 	popts := projection.Options{Exclude: cfg.Exclude, Restrict: cfg.Restrict, Ranks: cfg.Ranks}
-	if cfg.Sequential {
+	switch {
+	case cfg.Sharded:
+		ci, err = projection.ProjectSharded(b, cfg.Window, popts)
+	case cfg.Sequential:
 		ci, err = projection.ProjectSequential(b, cfg.Window, popts)
-	} else {
+	default:
 		ci, err = projection.Project(b, cfg.Window, popts)
 	}
 	if err != nil {
@@ -134,6 +146,102 @@ func RunOnCI(ci graph.CIView, b *graph.BTM, cfg Config) (*Result, error) {
 	}
 	res := &Result{Config: cfg, CI: ci}
 	finish(res, b, cfg)
+	return res, nil
+}
+
+// RunOnTriangles executes Step 3 (hypergraph validation) and the
+// component census on an already-surveyed triangle list — the delta-
+// survey entry point: a daemon that merged cache-surviving and
+// re-surveyed triangles hands the result here instead of re-enumerating
+// the snapshot. tris must be weight-thresholded and SortTriangles-sorted
+// but NOT T-score filtered: cfg.MinTScore is applied here against ci's
+// current page counts, so cached triangles re-filter correctly as P'
+// drifts between cycles. thresholded, when non-nil, is ci restricted to
+// edges >= the effective cut (e.g. a ThresholdDelta product, so the
+// component census needn't rescan the full snapshot); nil recomputes it.
+// hyperCache, when non-nil, memoizes Step-3 scores across calls keyed by
+// triplet; the caller is responsible for invalidating entries whose
+// authors' windowed comments changed. Hits are reported in
+// Result.HyperCacheHits. The output is identical to RunOnCI over the same
+// graph when tris is a full weight-only survey of it.
+func RunOnTriangles(ci, thresholded graph.CIView, tris []tripoll.Triangle, b *graph.BTM, cfg Config, hyperCache map[hypergraph.Triplet]hypergraph.Score) (*Result, error) {
+	if ci == nil {
+		return nil, fmt.Errorf("pipeline: RunOnTriangles on nil CI graph")
+	}
+	if b == nil {
+		cfg.SkipHypergraph = true
+	}
+	res := &Result{Config: cfg, CI: ci}
+
+	// The tail of Step 2: the T-score cut the survey would have applied.
+	t0 := time.Now()
+	if cfg.MinTScore > 0 {
+		kept := make([]tripoll.Triangle, 0, len(tris))
+		for _, tr := range tris {
+			if tr.TScore(ci.PageCount) >= cfg.MinTScore {
+				kept = append(kept, tr)
+			}
+		}
+		tris = kept
+	}
+	res.Timings.Survey = time.Since(t0)
+
+	// Step 3: hypergraph validation, cache-aware.
+	t0 = time.Now()
+	res.Triangles = make([]TriangleResult, len(tris))
+	for i, tr := range tris {
+		res.Triangles[i] = TriangleResult{Triangle: tr, T: tr.TScore(ci.PageCount)}
+	}
+	if !cfg.SkipHypergraph && len(tris) > 0 {
+		var missing []hypergraph.Triplet
+		var missingAt []int
+		for i, tr := range tris {
+			t := hypergraph.Triplet{X: tr.X, Y: tr.Y, Z: tr.Z}
+			if sc, ok := hyperCache[t]; ok {
+				res.Triangles[i].Hyper = sc
+				res.HyperCacheHits++
+				continue
+			}
+			missing = append(missing, t)
+			missingAt = append(missingAt, i)
+		}
+		if len(missing) > 0 {
+			// missing preserves the sorted triplet order of tris, so the
+			// sorted outputs of both evaluators zip back 1:1.
+			var scores []hypergraph.Score
+			if cfg.Sequential {
+				scores = make([]hypergraph.Score, len(missing))
+				for i, t := range missing {
+					scores[i] = hypergraph.Evaluate(b, t)
+				}
+			} else {
+				scores = hypergraph.EvaluateAll(b, missing, cfg.Ranks)
+			}
+			for k, sc := range scores {
+				res.Triangles[missingAt[k]].Hyper = sc
+				if hyperCache != nil {
+					hyperCache[missing[k]] = sc
+				}
+			}
+		}
+	}
+	res.Timings.Validate = time.Since(t0)
+
+	// Component census on the thresholded view.
+	t0 = time.Now()
+	if thresholded == nil {
+		cut := cfg.MinTriangleWeight
+		if cfg.MinEdgeWeight > cut {
+			cut = cfg.MinEdgeWeight
+		}
+		if cut < 1 {
+			cut = 1
+		}
+		thresholded = ci.ThresholdView(cut)
+	}
+	res.Thresholded = thresholded
+	res.Components = graph.ConnectedComponents(res.Thresholded)
+	res.Timings.Component = time.Since(t0)
 	return res, nil
 }
 

@@ -2,6 +2,7 @@ package projection
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 
 	"coordbot/internal/graph"
@@ -9,11 +10,15 @@ import (
 
 // ProjectSharded runs Algorithm 1 with the sharded owner-computes merge:
 // pages are dealt round-robin to worker ranks; each rank computes its
-// pages' pair sets locally and accumulates them into per-(rank, shard)
-// delta maps routed by the store's shard hash; then one merger per shard
-// folds every rank's delta for that shard into the store under that
-// shard's own lock — P concurrent merges, no global lock and no serial
-// gather. The result equals ProjectSequential (property-tested).
+// pages' pair sets locally and appends every (shard, key) occurrence to a
+// flat log — one slice of fixed-width records per rank instead of P maps
+// per rank, which cuts the allocation churn that dominated high-rank
+// runs. Each rank's log is sorted by (shard, key) once at the end of its
+// page sweep; then one merger per shard walks every rank's contiguous
+// segment for that shard, aggregates equal-key runs, and folds the counts
+// into the store under that shard's own lock — P concurrent merges, no
+// global lock and no serial gather. The result equals ProjectSequential
+// (property-tested).
 //
 // This is the batch counterpart of the daemon's sharded live store: both
 // land in a *graph.ShardedCI whose snapshots are copy-on-write.
@@ -31,25 +36,34 @@ func ProjectSharded(b *graph.BTM, w Window, opts Options) (*graph.ShardedCI, err
 	g := graph.NewShardedCI(0)
 	p := g.NumShards()
 
-	// Phase 1: per-rank local projection into per-shard deltas.
-	type rankDelta struct {
-		edges []map[uint64]uint32
-		pages []map[graph.VertexID]uint32
+	// edgeRec / pageRec are one append-log occurrence each; the implicit
+	// weight is 1 (a pair or author counts once per page), so aggregation
+	// is a run-length count at merge time.
+	type edgeRec struct {
+		shard int32
+		key   uint64
 	}
-	deltas := make([]rankDelta, nr)
+	type pageRec struct {
+		shard int32
+		v     graph.VertexID
+	}
+	// rankLog is one rank's projection output: flat logs sorted by
+	// (shard, key) with per-shard segment offsets.
+	type rankLog struct {
+		edges   []edgeRec
+		pages   []pageRec
+		edgeOff []int // len p+1
+		pageOff []int // len p+1
+	}
+
+	// Phase 1: per-rank local projection into flat append logs.
+	logs := make([]rankLog, nr)
 	var wg sync.WaitGroup
 	wg.Add(nr)
 	for r := 0; r < nr; r++ {
 		go func(r int) {
 			defer wg.Done()
-			d := rankDelta{
-				edges: make([]map[uint64]uint32, p),
-				pages: make([]map[graph.VertexID]uint32, p),
-			}
-			for i := range d.edges {
-				d.edges[i] = make(map[uint64]uint32)
-				d.pages[i] = make(map[graph.VertexID]uint32)
-			}
+			var lg rankLog
 			pairs := make(map[uint64]struct{})
 			authors := make(map[graph.VertexID]struct{})
 			for pg := r; pg < b.NumPages(); pg += nr {
@@ -60,21 +74,47 @@ func ProjectSharded(b *graph.BTM, w Window, opts Options) (*graph.ShardedCI, err
 				}
 				clear(authors)
 				for key := range pairs {
-					d.edges[g.EdgeShard(key)][key]++
+					lg.edges = append(lg.edges, edgeRec{shard: int32(g.EdgeShard(key)), key: key})
 					u, v := graph.UnpackEdge(key)
 					authors[u] = struct{}{}
 					authors[v] = struct{}{}
 				}
 				for a := range authors {
-					d.pages[g.VertexShard(a)][a]++
+					lg.pages = append(lg.pages, pageRec{shard: int32(g.VertexShard(a)), v: a})
 				}
 			}
-			deltas[r] = d
+			sort.Slice(lg.edges, func(i, j int) bool {
+				if lg.edges[i].shard != lg.edges[j].shard {
+					return lg.edges[i].shard < lg.edges[j].shard
+				}
+				return lg.edges[i].key < lg.edges[j].key
+			})
+			sort.Slice(lg.pages, func(i, j int) bool {
+				if lg.pages[i].shard != lg.pages[j].shard {
+					return lg.pages[i].shard < lg.pages[j].shard
+				}
+				return lg.pages[i].v < lg.pages[j].v
+			})
+			// Per-shard segment offsets over the sorted logs.
+			lg.edgeOff = make([]int, p+1)
+			for _, e := range lg.edges {
+				lg.edgeOff[e.shard+1]++
+			}
+			lg.pageOff = make([]int, p+1)
+			for _, pr := range lg.pages {
+				lg.pageOff[pr.shard+1]++
+			}
+			for s := 0; s < p; s++ {
+				lg.edgeOff[s+1] += lg.edgeOff[s]
+				lg.pageOff[s+1] += lg.pageOff[s]
+			}
+			logs[r] = lg
 		}(r)
 	}
 	wg.Wait()
 
-	// Phase 2: shard-owned merge, one merger per shard.
+	// Phase 2: shard-owned merge, one merger per shard, aggregating each
+	// rank's sorted segment by run length under a single lock acquisition.
 	mergers := runtime.GOMAXPROCS(0)
 	if mergers > p {
 		mergers = p
@@ -85,9 +125,38 @@ func ProjectSharded(b *graph.BTM, w Window, opts Options) (*graph.ShardedCI, err
 		go func(m int) {
 			defer mwg.Done()
 			for s := m; s < p; s += mergers {
-				for r := range deltas {
-					g.MergeShardDelta(s, deltas[r].edges[s], deltas[r].pages[s])
+				empty := true
+				for r := range logs {
+					if logs[r].edgeOff[s+1] > logs[r].edgeOff[s] || logs[r].pageOff[s+1] > logs[r].pageOff[s] {
+						empty = false
+						break
+					}
 				}
+				if empty {
+					continue
+				}
+				g.UpdateShard(s, func(edges map[uint64]uint32, pages map[graph.VertexID]uint32) {
+					for r := range logs {
+						seg := logs[r].edges[logs[r].edgeOff[s]:logs[r].edgeOff[s+1]]
+						for k := 0; k < len(seg); {
+							run := k + 1
+							for run < len(seg) && seg[run].key == seg[k].key {
+								run++
+							}
+							edges[seg[k].key] += uint32(run - k)
+							k = run
+						}
+						pseg := logs[r].pages[logs[r].pageOff[s]:logs[r].pageOff[s+1]]
+						for k := 0; k < len(pseg); {
+							run := k + 1
+							for run < len(pseg) && pseg[run].v == pseg[k].v {
+								run++
+							}
+							pages[pseg[k].v] += uint32(run - k)
+							k = run
+						}
+					}
+				})
 			}
 		}(m)
 	}

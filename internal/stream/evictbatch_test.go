@@ -1,0 +1,56 @@
+package stream
+
+import (
+	"testing"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/projection"
+)
+
+// TestEvictionWaveBatchesShardWrites pins the shard-aware eviction
+// batching: one eviction wave decrements many pairs but takes each store
+// shard's lock at most once, so the graph version — one bump per shard
+// write — advances by at most NumShards per wave, not per evicted pair.
+func TestEvictionWaveBatchesShardWrites(t *testing.T) {
+	const shards = 4
+	w := projection.Window{Min: 0, Max: 60}
+	p, err := NewSlidingProjectorShards(w, 100, projection.Options{}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One page, many authors commenting within the window at t≈0: a dense
+	// burst whose pairs all expire together.
+	const burst = 24
+	for a := 0; a < burst; a++ {
+		if err := p.Add(graph.Comment{Author: graph.VertexID(a), Page: 0, TS: int64(a)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.LivePairs() == 0 {
+		t.Fatal("burst projected no pairs")
+	}
+	pairs := p.LivePairs()
+
+	// Advance far past the horizon: the whole burst evicts in one wave.
+	before := p.GraphVersion()
+	if err := p.Add(graph.Comment{Author: 1000, Page: 5, TS: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	if p.EvictedPairs() < pairs {
+		t.Fatalf("expected %d evictions, got %d", pairs, p.EvictedPairs())
+	}
+	bumps := p.GraphVersion() - before
+	// The wave may also write the new comment's own shard state; allow one
+	// extra write beyond the shard count.
+	if bumps > shards+1 {
+		t.Fatalf("eviction wave wrote %d shard versions for %d pairs over %d shards — not batched",
+			bumps, pairs, shards)
+	}
+	// And the evictions actually landed: the burst's weights are gone.
+	if got := p.EdgeWeight(0, 1); got != 0 {
+		t.Fatalf("evicted pair still weighted %d", got)
+	}
+	if got := p.PageCount(2); got != 0 {
+		t.Fatalf("evicted author still has page count %d", got)
+	}
+}

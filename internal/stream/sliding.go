@@ -261,8 +261,15 @@ func (p *SlidingProjector) AdvanceTo(ts int64) error {
 
 // evictExpired withdraws every contribution whose newest support has
 // timestamp <= cutoff. Heap entries superseded by a fresher support are
-// recognized (stored timestamp mismatch) and skipped.
+// recognized (stored timestamp mismatch) and skipped. Store updates are
+// shard-grouped: the wave's edge and page decrements accumulate locally
+// and land via applyEvictions, which takes each owning shard's lock once
+// per wave — not once per expired pair — and advances each touched
+// shard's dirty version once, giving the delta survey one coherent dirty
+// unit per watermark advance.
 func (p *SlidingProjector) evictExpired(cutoff int64) {
+	var edgeDec map[uint64]uint32
+	var pageDec map[graph.VertexID]uint32
 	for len(p.exp) > 0 && p.exp[0].oldTS <= cutoff {
 		e := heap.Pop(&p.exp).(expiryEntry)
 		ps := p.pages[e.page]
@@ -274,15 +281,19 @@ func (p *SlidingProjector) evictExpired(cutoff int64) {
 			continue // stale entry: refreshed or already gone
 		}
 		delete(ps.live, e.key)
-		u, v := graph.UnpackEdge(e.key)
-		p.g.SubEdgeWeight(u, v, 1)
+		if edgeDec == nil {
+			edgeDec = make(map[uint64]uint32)
+			pageDec = make(map[graph.VertexID]uint32)
+		}
+		edgeDec[e.key]++
 		p.live--
 		p.evicted++
+		u, v := graph.UnpackEdge(e.key)
 		for _, a := range [2]graph.VertexID{u, v} {
 			ps.incident[a]--
 			if ps.incident[a] == 0 {
 				delete(ps.incident, a)
-				p.g.SubPageCount(a, 1)
+				pageDec[a]++
 			}
 		}
 		// Buffered comments older than w.Max behind the watermark can
@@ -294,6 +305,9 @@ func (p *SlidingProjector) evictExpired(cutoff int64) {
 		if len(ps.live) == 0 && ps.start >= len(ps.buf) {
 			delete(p.pages, e.page)
 		}
+	}
+	if edgeDec != nil {
+		p.applyEvictions(edgeDec, pageDec)
 	}
 
 	// Idle-page GC: pages whose newest comment left the pairing window and
@@ -310,6 +324,39 @@ func (p *SlidingProjector) evictExpired(cutoff int64) {
 		if len(ps.live) == 0 {
 			delete(p.pages, e.page)
 		}
+	}
+}
+
+// applyEvictions routes one eviction wave's accumulated edge and page
+// decrements to their owning shards and withdraws each shard's batch
+// under a single lock acquisition (graph.ShardedCI.SubShardDelta).
+func (p *SlidingProjector) applyEvictions(edgeDec map[uint64]uint32, pageDec map[graph.VertexID]uint32) {
+	edgesByShard := make(map[int]map[uint64]uint32)
+	for key, n := range edgeDec {
+		i := p.g.EdgeShard(key)
+		m := edgesByShard[i]
+		if m == nil {
+			m = make(map[uint64]uint32)
+			edgesByShard[i] = m
+		}
+		m[key] = n
+	}
+	pagesByShard := make(map[int]map[graph.VertexID]uint32)
+	for v, n := range pageDec {
+		i := p.g.VertexShard(v)
+		m := pagesByShard[i]
+		if m == nil {
+			m = make(map[graph.VertexID]uint32)
+			pagesByShard[i] = m
+		}
+		m[v] = n
+	}
+	for i, em := range edgesByShard {
+		p.g.SubShardDelta(i, em, pagesByShard[i])
+		delete(pagesByShard, i)
+	}
+	for i, pm := range pagesByShard {
+		p.g.SubShardDelta(i, nil, pm)
 	}
 }
 

@@ -190,6 +190,72 @@ func SurveySequential(g graph.CIView, opts Options, visit func(Triangle)) {
 	}
 }
 
+// SurveyDirtySequential is the delta-survey path: it enumerates only the
+// triangles with at least one endpoint in dirty, and is equivalent to
+// filtering SurveySequential's output on the same graph (property-tested)
+// at a cost proportional to the dirty frontier's wedges, not the graph's.
+func SurveyDirtySequential(g graph.CIView, opts Options, dirty map[graph.VertexID]bool, visit func(Triangle)) {
+	pruned := g.ThresholdView(opts.effectiveEdgeCut())
+	adj := pruned.BuildAdjacency()
+	o := Orient(adj)
+	o.SurveyDirty(opts, dirty, g.PageCount, visit)
+}
+
+// SurveyDirty enumerates the oriented view's triangles that touch the
+// dirty vertex set. In the degree-ordered orientation every triangle has
+// a unique pivot — its minimum-order vertex — so the frontier of pivots
+// whose out-wedges can close a dirty triangle is the dirty vertices
+// themselves plus their in-neighbors (a dirty out-neighbor makes the
+// lower-order endpoint the pivot). Each frontier pivot's wedges are
+// checked against the full orientation for closure; wedges with no dirty
+// endpoint are skipped, so every emitted triangle touches dirty and every
+// triangle touching dirty is emitted exactly once. pageCount is only
+// consulted when opts.MinTScore > 0; pass nil otherwise.
+func (o *Oriented) SurveyDirty(opts Options, dirty map[graph.VertexID]bool, pageCount func(graph.VertexID) uint32, visit func(Triangle)) {
+	adj := o.adj
+	frontier := make(map[int32]struct{})
+	for v, d := range dirty {
+		if !d {
+			continue
+		}
+		dv, ok := adj.Dense[v]
+		if !ok {
+			continue
+		}
+		frontier[dv] = struct{}{}
+		for _, u := range adj.Neighbors(dv) {
+			if o.Less(u, dv) {
+				frontier[u] = struct{}{}
+			}
+		}
+	}
+	isDirty := func(d int32) bool { return dirty[adj.Orig[d]] }
+	for v := range frontier {
+		out, wts := o.out[v], o.wt[v]
+		dv := isDirty(v)
+		for i := 0; i < len(out); i++ {
+			di := dv || isDirty(out[i])
+			for j := i + 1; j < len(out); j++ {
+				if !di && !isDirty(out[j]) {
+					continue
+				}
+				cw, ok := o.ClosingWeight(out[i], out[j])
+				if !ok {
+					continue
+				}
+				tr := Assemble(adj, v, out[i], out[j], wts[i], wts[j], cw)
+				if tr.MinWeight() < opts.MinTriangleWeight {
+					continue
+				}
+				if opts.MinTScore > 0 && pageCount != nil && tr.TScore(pageCount) < opts.MinTScore {
+					continue
+				}
+				visit(tr)
+			}
+		}
+	}
+}
+
 // Survey enumerates triangles on a ygm communicator, mirroring TriPoll's
 // structure: pivots are dealt to ranks; each wedge (v; u, w) is shipped to
 // the owner of the closing edge's lower-order endpoint, which checks
@@ -257,6 +323,30 @@ func SortTriangles(ts []Triangle) {
 		return triangleLess(ts[i], ts[j])
 	})
 }
+
+// MergeSorted merges two SortTriangles-ordered slices with disjoint
+// (X, Y, Z) triplets into one sorted slice — the delta survey's combine
+// of cache-surviving and re-surveyed triangles. The output equals
+// SortTriangles over the concatenation.
+func MergeSorted(a, b []Triangle) []Triangle {
+	out := make([]Triangle, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if triangleLess(a[i], b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// TriangleLess exposes the canonical triangle total order for callers
+// that maintain their own sorted triangle stores.
+func TriangleLess(a, b Triangle) bool { return triangleLess(a, b) }
 
 // triangleLess is the canonical (X, Y, Z, WXY, WXZ, WYZ) total order.
 func triangleLess(a, b Triangle) bool {
