@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check vet test test-race bench fuzz experiments examples clean
+.PHONY: all build check vet test test-race bench bench-adjacency fuzz experiments examples clean
 
 all: build check
 
@@ -22,12 +22,14 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# Short fuzz of the edge-key codec and the sharded-vs-map adjacency
-# equivalence (seed corpora also run under plain `make test`).
+# Short fuzz of the edge-key codec, the sharded-vs-map adjacency
+# equivalence, and the patched-vs-rebuilt oriented CSR (seed corpora also
+# run under plain `make test`).
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./internal/graph/ -fuzz FuzzPackEdge -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/graph/ -fuzz FuzzBuildAdjacency -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tripoll/ -fuzz FuzzOrientedPatch -fuzztime $(FUZZTIME)
 
 # Captures for the repo-root result files.
 test-output:
@@ -38,6 +40,12 @@ bench-output:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Patched-vs-rebuilt oriented adjacency maintenance across dirty
+# fractions; writes the JSON report and enforces the >=3x floor at <=1%
+# dirty (several minutes on the 80k-author corpus).
+bench-adjacency:
+	BENCH_ADJACENCY_OUT=BENCH_adjacency.json $(GO) test -run TestWriteAdjacencyBench -v -timeout 60m .
 
 # Full-scale reproduction of every paper artifact (~10 min).
 experiments:

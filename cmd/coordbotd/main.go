@@ -24,11 +24,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"coordbot/internal/detectd"
+	"coordbot/internal/graph"
 	"coordbot/internal/projection"
 )
 
@@ -43,6 +45,9 @@ func main() {
 	tscore := fs.Float64("tscore", 0, "min T score for flagged triplets")
 	queue := fs.Int("queue", 256, "ingest queue size (batches)")
 	exclude := fs.String("exclude", "AutoModerator,[deleted]", "comma-separated authors to exclude")
+	excludeIDs := fs.String("exclude-ids", "", "comma-separated numeric vertex IDs to exclude")
+	rebuildFrac := fs.Float64("orient-rebuild-frac", 0,
+		"re-orient when drifted vertices exceed this fraction (0 = library default, <0 = re-orient on any drift)")
 	noHyper := fs.Bool("no-hyper", false, "skip hypergraph validation (no comment log kept)")
 	dropLate := fs.Bool("drop-late", false, "drop out-of-order comments instead of clamping to the watermark")
 	ranks := fs.Int("ranks", 0, "survey parallelism (0 = all cores)")
@@ -57,6 +62,18 @@ func main() {
 			excl = append(excl, name)
 		}
 	}
+	var exclIDs []graph.VertexID
+	for _, raw := range strings.Split(*excludeIDs, ",") {
+		if raw = strings.TrimSpace(raw); raw == "" {
+			continue
+		}
+		id, err := strconv.ParseUint(raw, 10, 32)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coordbotd: -exclude-ids: %q is not a vertex ID\n", raw)
+			os.Exit(2)
+		}
+		exclIDs = append(exclIDs, graph.VertexID(id))
+	}
 	s, err := detectd.NewService(detectd.Config{
 		Window:             projection.Window{Min: *min, Max: *max},
 		Horizon:            *horizon,
@@ -65,10 +82,12 @@ func main() {
 		MinTScore:          *tscore,
 		ValidateHypergraph: !*noHyper,
 		Exclude:            excl,
+		ExcludeIDs:         exclIDs,
 		QueueSize:          *queue,
 		ClampLate:          !*dropLate,
 		Ranks:              *ranks,
 		Shards:             *shards,
+		OrientRebuildFrac:  *rebuildFrac,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coordbotd:", err)

@@ -129,6 +129,62 @@ func TestDeltaSurveyMatchesFullOracle(t *testing.T) {
 	if s.HyperCacheHits() == 0 {
 		t.Fatal("no hypergraph validations served from the memo")
 	}
+	if s.OrientPatchedEdges() == 0 {
+		t.Fatal("delta cycles never patched the persistent orientation")
+	}
+}
+
+// TestOrientRebuildPolicies: the persistent orientation's rebuild policy
+// is a pure perf knob. Under "re-freeze after every drifted batch"
+// (negative OrientRebuildFrac) and "never re-freeze" (huge fraction) the
+// published surveys still match the full oracle exactly, while the
+// orient_* counters reflect the policy.
+func TestOrientRebuildPolicies(t *testing.T) {
+	ds := snapshotDataset()
+	for _, tc := range []struct {
+		name string
+		frac float64
+	}{
+		{"rebuild-every-batch", -1},
+		{"never-rebuild", 1e9},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := deltaConfig()
+			cfg.OrientRebuildFrac = tc.frac
+			s, err := NewService(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const batch = 250
+			var last *SurveyResult
+			for lo := 0; lo < len(ds.Comments); lo += batch {
+				hi := lo + batch
+				if hi > len(ds.Comments) {
+					hi = len(ds.Comments)
+				}
+				s.Apply(ds.Comments[lo:hi])
+				sr, err := s.SurveyNow()
+				if err != nil {
+					t.Fatal(err)
+				}
+				surveysEqual(t, sr.Cycle, sr.Result, surveyOracle(t, cfg, sr))
+				last = sr
+			}
+			if s.DeltaCycles() == 0 {
+				t.Fatal("stream never took the delta path")
+			}
+			if s.OrientPatchedEdges() == 0 {
+				t.Fatal("no edge patches were ever applied")
+			}
+			if tc.frac < 0 && last.OrientRebuilds == 0 {
+				t.Fatal("rebuild-every-batch policy never re-froze the order")
+			}
+			if tc.frac > 1 && (last.OrientRebuilds != 0 || last.OrientEpoch != 0) {
+				t.Fatalf("never-rebuild policy re-froze anyway: epoch %d, rebuilds %d",
+					last.OrientEpoch, last.OrientRebuilds)
+			}
+		})
+	}
 }
 
 // TestFullResurveyModeMatchesDelta: a FullResurvey daemon fed the same

@@ -66,6 +66,10 @@ type Config struct {
 	ValidateHypergraph bool
 	// Exclude lists author names skipped at projection (§3 helpers).
 	Exclude []string
+	// ExcludeIDs lists pre-interned author IDs skipped at projection, for
+	// replayed archives that carry numeric IDs without a name table. Merged
+	// with Exclude.
+	ExcludeIDs []graph.VertexID
 	// QueueSize bounds the ingest queue in batches; a full queue makes
 	// the API push back with 429 (default 256).
 	QueueSize int
@@ -87,6 +91,12 @@ type Config struct {
 	// triangle, as if no previous cycle existed. The baseline mode for
 	// benchmarks and for bisecting suspected cache bugs.
 	FullResurvey bool
+	// OrientRebuildFrac is the drifted-vertex fraction at which the
+	// persistent oriented adjacency re-freezes its epoch order
+	// (tripoll.Oriented). 0 means the library default; a negative value
+	// forces a re-orientation after every patched cycle (the conservative
+	// tight-degree-bound mode).
+	OrientRebuildFrac float64
 }
 
 // edgeCut is the effective edge threshold of the survey (and the
@@ -148,6 +158,14 @@ type SurveyResult struct {
 	// enumerations; a full cycle reports everything as resurveyed.
 	CachedTriangles     int
 	ResurveyedTriangles int
+	// OrientEpoch / OrientPatchedEdges / OrientRebuilds are the persistent
+	// oriented adjacency's counters as of this cycle: the stable-order
+	// epoch, cumulative edge patches applied, and drift-triggered
+	// re-orientations. They reset when the orientation is rebuilt from
+	// scratch (full cycles, incomparable snapshots).
+	OrientEpoch        int64
+	OrientPatchedEdges int64
+	OrientRebuilds     int64
 
 	// snap / btm are the immutable inputs the survey ran on, kept for
 	// same-package consumers: the score endpoint's group metrics and the
@@ -187,6 +205,14 @@ type surveyCache struct {
 	// hyper memoizes Step-3 scores per triplet; entries touching a
 	// logDirty author are invalidated before reuse.
 	hyper map[hypergraph.Triplet]hypergraph.Score
+	// oriented is the persistent stable-epoch orientation of pruned
+	// (tripoll.Oriented). The next delta cycle patches it in place from
+	// the pruned-snapshot edge diff instead of re-deriving adjacency and
+	// orientation from scratch. Unlike the rest of the cache it is
+	// mutable — but only under surveyMu, and it is nil'd before patching
+	// begins so a failed cycle can never leave a half-patched orientation
+	// attributed to pruned.
+	oriented *tripoll.Oriented
 }
 
 // Service is the daemon. Create with NewService, start the background
@@ -231,6 +257,9 @@ type Service struct {
 	hyperCacheHits      atomic.Int64
 	lastDirtyShards     atomic.Int64
 	lastDirtyVertices   atomic.Int64
+	orientEpoch         atomic.Int64
+	orientPatchedEdges  atomic.Int64
+	orientRebuilds      atomic.Int64
 
 	metrics *metrics
 	started time.Time
@@ -247,9 +276,12 @@ func NewService(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	authors := interner.New(1 << 12)
-	exclude := make(map[graph.VertexID]bool, len(cfg.Exclude))
+	exclude := make(map[graph.VertexID]bool, len(cfg.Exclude)+len(cfg.ExcludeIDs))
 	for _, name := range cfg.Exclude {
 		exclude[authors.Intern(name)] = true
+	}
+	for _, id := range cfg.ExcludeIDs {
+		exclude[id] = true
 	}
 	proj, err := stream.NewSlidingProjectorShards(cfg.Window, cfg.Horizon,
 		projection.Options{Exclude: exclude}, cfg.Shards)
@@ -482,6 +514,7 @@ func (s *Service) SurveyNow() (*SurveyResult, error) {
 
 	var (
 		pruned               *graph.CISnapshot
+		oriented             *tripoll.Oriented
 		tris                 []tripoll.Triangle
 		cachedN, resurveyedN int
 	)
@@ -501,9 +534,21 @@ func (s *Service) SurveyNow() (*SurveyResult, error) {
 			}
 			kept = append(kept, tr)
 		}
+		// Prefer patching the persistent orientation from the pruned-graph
+		// edge diff over rebuilding adjacency + orientation from scratch —
+		// the cycle's cost then scales with the diff, not the graph.
+		if o := cache.oriented; o != nil {
+			if patches, _, ok := pruned.EdgePatches(cache.pruned); ok {
+				cache.oriented = nil // taken; never survives a failed cycle
+				o.ApplyPatches(patches)
+				oriented = o
+			}
+		}
+		if oriented == nil {
+			oriented = s.newOriented(pruned)
+		}
 		var fresh []tripoll.Triangle
-		o := tripoll.Orient(pruned.BuildAdjacency())
-		o.SurveyDirty(sopts, dirty, nil, func(tr tripoll.Triangle) {
+		oriented.SurveyDirty(sopts, dirty, nil, func(tr tripoll.Triangle) {
 			fresh = append(fresh, tr)
 		})
 		tripoll.SortTriangles(fresh)
@@ -514,13 +559,14 @@ func (s *Service) SurveyNow() (*SurveyResult, error) {
 		// T-score cut stays out of the survey so the cached census stays
 		// valid as page counts drift; RunOnTriangles applies it downstream.
 		pruned = ci.ThresholdView(cut).(*graph.CISnapshot)
+		oriented = s.newOriented(pruned)
 		if s.cfg.Sequential {
-			tripoll.SurveySequential(pruned, sopts, func(tr tripoll.Triangle) {
+			oriented.SurveyAll(sopts, nil, func(tr tripoll.Triangle) {
 				tris = append(tris, tr)
 			})
 			tripoll.SortTriangles(tris)
 		} else {
-			tris = tripoll.Survey(pruned, sopts)
+			tris = oriented.SurveyParallel(sopts, nil)
 		}
 		resurveyedN = len(tris)
 	}
@@ -560,7 +606,10 @@ func (s *Service) SurveyNow() (*SurveyResult, error) {
 		s.mu.Unlock()
 		return nil, err
 	}
-	s.cache = &surveyCache{snap: ci, pruned: pruned, tris: tris, hyper: hyper}
+	s.cache = &surveyCache{snap: ci, pruned: pruned, tris: tris, hyper: hyper, oriented: oriented}
+	s.orientEpoch.Store(oriented.Epoch())
+	s.orientPatchedEdges.Store(oriented.PatchedEdges())
+	s.orientRebuilds.Store(oriented.Rebuilds())
 
 	sr := &SurveyResult{
 		Cycle:               s.cycles.Add(1),
@@ -573,6 +622,9 @@ func (s *Service) SurveyNow() (*SurveyResult, error) {
 		Delta:               delta,
 		CachedTriangles:     cachedN,
 		ResurveyedTriangles: resurveyedN,
+		OrientEpoch:         oriented.Epoch(),
+		OrientPatchedEdges:  oriented.PatchedEdges(),
+		OrientRebuilds:      oriented.Rebuilds(),
 		snap:                ci,
 		btm:                 btm,
 		stamp:               st,
@@ -592,6 +644,19 @@ func (s *Service) SurveyNow() (*SurveyResult, error) {
 	s.lastSurveyNS.Store(int64(sr.Duration))
 	s.latest.Store(sr)
 	return sr, nil
+}
+
+// newOriented builds a fresh stable-epoch orientation of pruned with the
+// configured rebuild policy applied.
+func (s *Service) newOriented(pruned *graph.CISnapshot) *tripoll.Oriented {
+	o := tripoll.Orient(pruned.BuildAdjacency())
+	switch frac := s.cfg.OrientRebuildFrac; {
+	case frac < 0:
+		o.SetRebuildFrac(0) // re-freeze after any drifted patch batch
+	case frac > 0:
+		o.SetRebuildFrac(frac)
+	}
+	return o
 }
 
 // Latest returns the most recently published survey (nil before the first).
@@ -626,6 +691,18 @@ func (s *Service) TrianglesResurveyed() int64 { return s.trianglesResurveyed.Loa
 // HyperCacheHits returns the cumulative count of Step-3 validations
 // served from the cross-cycle triplet memo.
 func (s *Service) HyperCacheHits() int64 { return s.hyperCacheHits.Load() }
+
+// OrientEpoch returns the stable-order epoch of the current persistent
+// orientation (0 right after a from-scratch build).
+func (s *Service) OrientEpoch() int64 { return s.orientEpoch.Load() }
+
+// OrientPatchedEdges returns the edge patches applied to the current
+// persistent orientation since it was last built from scratch.
+func (s *Service) OrientPatchedEdges() int64 { return s.orientPatchedEdges.Load() }
+
+// OrientRebuilds returns the drift-triggered re-orientations of the
+// current persistent orientation since it was last built from scratch.
+func (s *Service) OrientRebuilds() int64 { return s.orientRebuilds.Load() }
 
 // Snapshot of live-side gauges for the stats endpoint.
 type liveStats struct {

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"coordbot/internal/graph"
 	"coordbot/internal/projection"
 )
 
@@ -335,6 +336,34 @@ func TestExcludedAuthorNeverProjects(t *testing.T) {
 	a, _ := s.authors.Lookup("a")
 	if w := s.proj.EdgeWeight(am, a); w != 0 {
 		t.Fatalf("excluded author projected: weight %d", w)
+	}
+	b, _ := s.authors.Lookup("b")
+	if w := s.proj.EdgeWeight(a, b); w != 1 {
+		t.Fatalf("organic pair weight = %d, want 1", w)
+	}
+}
+
+// TestExcludedIDNeverProjects: the numeric-ID exclude list skips helpers
+// the same way the name list does — the replayed-archive path where
+// comments carry pre-interned IDs and no name table exists.
+func TestExcludedIDNeverProjects(t *testing.T) {
+	cfg := testConfig()
+	// The first author the stream interns receives ID 0.
+	cfg.ExcludeIDs = []graph.VertexID{0}
+	s, srv := newTestService(t, cfg)
+	body := `[
+		{"author":"helper","page":"p","ts":1},
+		{"author":"a","page":"p","ts":2},
+		{"author":"b","page":"p","ts":3}
+	]`
+	ingestAndSettle(t, s, srv.URL, body, 3)
+	helper, _ := s.authors.Lookup("helper")
+	if helper != 0 {
+		t.Fatalf("helper interned as %d, want 0", helper)
+	}
+	a, _ := s.authors.Lookup("a")
+	if w := s.proj.EdgeWeight(helper, a); w != 0 {
+		t.Fatalf("excluded ID projected: weight %d", w)
 	}
 	b, _ := s.authors.Lookup("b")
 	if w := s.proj.EdgeWeight(a, b); w != 1 {

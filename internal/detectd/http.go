@@ -100,6 +100,12 @@ type StatsOut struct {
 	HyperCacheHits      int64 `json:"hyper_cache_hits"`
 	LastDirtyShards     int64 `json:"last_dirty_shards"`
 	LastDirtyVertices   int64 `json:"last_dirty_vertices"`
+	// Persistent-orientation counters: stable-order epoch, cumulative edge
+	// patches applied in place, and drift-triggered re-orientations — all
+	// of the current orientation (reset by a from-scratch rebuild).
+	OrientEpoch        int64 `json:"orient_epoch"`
+	OrientPatchedEdges int64 `json:"orient_patched_edges"`
+	OrientRebuilds     int64 `json:"orient_rebuilds"`
 
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 }
@@ -543,6 +549,9 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		HyperCacheHits:      s.hyperCacheHits.Load(),
 		LastDirtyShards:     s.lastDirtyShards.Load(),
 		LastDirtyVertices:   s.lastDirtyVertices.Load(),
+		OrientEpoch:         s.orientEpoch.Load(),
+		OrientPatchedEdges:  s.orientPatchedEdges.Load(),
+		OrientRebuilds:      s.orientRebuilds.Load(),
 
 		Endpoints: s.metrics.snapshot(),
 	}

@@ -234,6 +234,13 @@ func (g *ShardedCI) SubShardDelta(i int, edges map[uint64]uint32, pages map[Vert
 	if len(edges) == 0 && len(pages) == 0 {
 		return
 	}
+	g.subShardDelta(i, edges, pages, nil)
+}
+
+// subShardDelta is the SubShardDelta core; record, when non-nil, observes
+// each edge decrement as an old→new weight transition under the shard lock
+// (SubShardDeltaPatches in patches.go).
+func (g *ShardedCI) subShardDelta(i int, edges map[uint64]uint32, pages map[VertexID]uint32, record func(key uint64, old, new uint32)) {
 	sh := &g.shards[i]
 	sh.mu.Lock()
 	sh.own()
@@ -248,6 +255,9 @@ func (g *ShardedCI) SubShardDelta(i int, edges map[uint64]uint32, pages map[Vert
 			delete(sh.edges, key)
 		} else {
 			sh.edges[key] = cur - w
+		}
+		if record != nil {
+			record(key, cur, cur-w)
 		}
 	}
 	for v, n := range pages {

@@ -249,7 +249,9 @@ func RunOnTriangles(ci, thresholded graph.CIView, tris []tripoll.Triangle, b *gr
 func finish(res *Result, b *graph.BTM, cfg Config) {
 	ci := res.CI
 
-	// Step 2: triangle survey.
+	// Step 2: triangle survey. Threshold and orient exactly once — the
+	// survey's edge cut equals the component census's, so the same pruned
+	// view serves both and the O(edges) filter is paid a single time.
 	t0 := time.Now()
 	sopts := tripoll.Options{
 		MinEdgeWeight:     cfg.MinEdgeWeight,
@@ -257,14 +259,16 @@ func finish(res *Result, b *graph.BTM, cfg Config) {
 		MinTScore:         cfg.MinTScore,
 		Ranks:             cfg.Ranks,
 	}
+	thresholded := ci.ThresholdView(tripoll.EffectiveEdgeCut(sopts))
+	o := tripoll.Orient(thresholded.BuildAdjacency())
 	var tris []tripoll.Triangle
 	if cfg.Sequential {
-		tripoll.SurveySequential(ci, sopts, func(tr tripoll.Triangle) {
+		o.SurveyAll(sopts, ci.PageCount, func(tr tripoll.Triangle) {
 			tris = append(tris, tr)
 		})
 		tripoll.SortTriangles(tris)
 	} else {
-		tris = tripoll.Survey(ci, sopts)
+		tris = o.SurveyParallel(sopts, ci.PageCount)
 	}
 	res.Timings.Survey = time.Since(t0)
 
@@ -297,16 +301,10 @@ func finish(res *Result, b *graph.BTM, cfg Config) {
 	}
 	res.Timings.Validate = time.Since(t0)
 
-	// Components of the thresholded graph (Figures 1–2 artifacts).
+	// Components of the thresholded graph (Figures 1–2 artifacts), on the
+	// pruned view the survey already built.
 	t0 = time.Now()
-	cut := cfg.MinTriangleWeight
-	if cfg.MinEdgeWeight > cut {
-		cut = cfg.MinEdgeWeight
-	}
-	if cut < 1 {
-		cut = 1
-	}
-	res.Thresholded = ci.ThresholdView(cut)
+	res.Thresholded = thresholded
 	res.Components = graph.ConnectedComponents(res.Thresholded)
 	res.Timings.Component = time.Since(t0)
 }

@@ -1,0 +1,111 @@
+package stream
+
+import (
+	"testing"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/projection"
+	"coordbot/internal/redditgen"
+)
+
+// TestEvictionPatchSink: the patch batches eviction waves emit are the
+// exact edge diff of the live store. Ingest a full dataset first (nothing
+// evicts yet), mirror the store, then drive eviction alone with AdvanceTo
+// steps: every delivered patch must match the mirror's weight (Old),
+// strictly decrease it (evictions only withdraw), arrive in (U, V) order,
+// and replaying all batches must land the mirror exactly on the final
+// live graph.
+func TestEvictionPatchSink(t *testing.T) {
+	ds := redditgen.Generate(redditgen.Config{
+		Seed:  13,
+		Start: 0,
+		End:   6 * 3600,
+		Organic: redditgen.OrganicConfig{
+			Authors: 50, Pages: 25, Comments: 1500, PageHalfLife: 3600,
+		},
+	})
+	const horizon = 100 * 3600 // longer than the dataset: ingest evicts nothing
+	p, err := NewSlidingProjectorShards(projection.Window{Min: 0, Max: 60}, horizon,
+		projection.Options{}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches [][]graph.EdgePatch
+	p.SetEvictionPatchSink(func(ps []graph.EdgePatch) {
+		cp := make([]graph.EdgePatch, len(ps))
+		copy(cp, ps)
+		batches = append(batches, cp)
+	})
+	for _, c := range ds.Comments {
+		if err := p.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(batches) != 0 {
+		t.Fatalf("%d patch batches during pure ingest under a long horizon", len(batches))
+	}
+
+	mirror := make(map[uint64]uint32)
+	p.Snapshot().ForEachEdge(func(u, v graph.VertexID, w uint32) bool {
+		mirror[graph.PackEdge(u, v)] = w
+		return true
+	})
+	if len(mirror) == 0 {
+		t.Fatal("dataset projected no edges")
+	}
+
+	// Eviction-only phase: advance the watermark in steps until every pair
+	// support has aged out.
+	end := p.Watermark() + horizon + 1
+	for ts := p.Watermark(); ts < end; ts += 3600 {
+		if err := p.AdvanceTo(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.AdvanceTo(end); err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) == 0 {
+		t.Fatal("aging past the horizon emitted no patch batches")
+	}
+
+	for bi, ps := range batches {
+		for i, pt := range ps {
+			if pt.U >= pt.V {
+				t.Fatalf("batch %d patch %d not canonical: U=%d V=%d", bi, i, pt.U, pt.V)
+			}
+			if i > 0 && (ps[i-1].U > pt.U || (ps[i-1].U == pt.U && ps[i-1].V >= pt.V)) {
+				t.Fatalf("batch %d out of (U,V) order at %d", bi, i)
+			}
+			if pt.New >= pt.Old {
+				t.Fatalf("batch %d: eviction patch {%d,%d} raises weight %d→%d",
+					bi, pt.U, pt.V, pt.Old, pt.New)
+			}
+			key := graph.PackEdge(pt.U, pt.V)
+			if got := mirror[key]; got != pt.Old {
+				t.Fatalf("batch %d: patch {%d,%d} Old=%d, mirror has %d",
+					bi, pt.U, pt.V, pt.Old, got)
+			}
+			if pt.New == 0 {
+				delete(mirror, key)
+			} else {
+				mirror[key] = pt.New
+			}
+		}
+	}
+
+	final := make(map[uint64]uint32)
+	p.Snapshot().ForEachEdge(func(u, v graph.VertexID, w uint32) bool {
+		final[graph.PackEdge(u, v)] = w
+		return true
+	})
+	if len(final) != 0 {
+		t.Fatalf("%d edges survive a full horizon of idle time", len(final))
+	}
+	if len(mirror) != 0 {
+		t.Fatalf("replaying eviction patches leaves %d mirror edges; sink missed withdrawals", len(mirror))
+	}
+
+	// Detach: further waves must not call a removed sink.
+	p.SetEvictionPatchSink(nil)
+}

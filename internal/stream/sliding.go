@@ -60,6 +60,10 @@ type SlidingProjector struct {
 	count    int64
 	live     int64
 	evicted  int64
+
+	// patchSink, when set, receives every eviction wave's edge transitions
+	// as one sorted patch batch (SetEvictionPatchSink).
+	patchSink func([]graph.EdgePatch)
 }
 
 type slidingPage struct {
@@ -329,7 +333,10 @@ func (p *SlidingProjector) evictExpired(cutoff int64) {
 
 // applyEvictions routes one eviction wave's accumulated edge and page
 // decrements to their owning shards and withdraws each shard's batch
-// under a single lock acquisition (graph.ShardedCI.SubShardDelta).
+// under a single lock acquisition (graph.ShardedCI.SubShardDelta). With a
+// patch sink installed the per-shard withdrawals also record each edge's
+// weight transition, and the wave's combined batch is delivered to the
+// sink sorted by (U, V).
 func (p *SlidingProjector) applyEvictions(edgeDec map[uint64]uint32, pageDec map[graph.VertexID]uint32) {
 	edgesByShard := make(map[int]map[uint64]uint32)
 	for key, n := range edgeDec {
@@ -351,13 +358,33 @@ func (p *SlidingProjector) applyEvictions(edgeDec map[uint64]uint32, pageDec map
 		}
 		m[v] = n
 	}
+	var patches []graph.EdgePatch
 	for i, em := range edgesByShard {
-		p.g.SubShardDelta(i, em, pagesByShard[i])
+		if p.patchSink != nil {
+			patches = p.g.SubShardDeltaPatches(i, em, pagesByShard[i], patches)
+		} else {
+			p.g.SubShardDelta(i, em, pagesByShard[i])
+		}
 		delete(pagesByShard, i)
 	}
 	for i, pm := range pagesByShard {
 		p.g.SubShardDelta(i, nil, pm)
 	}
+	if p.patchSink != nil && len(patches) > 0 {
+		graph.SortEdgePatches(patches)
+		p.patchSink(patches)
+	}
+}
+
+// SetEvictionPatchSink installs a callback receiving each eviction wave's
+// edge-weight transitions as one sorted batch of explicit patches — the
+// feed a persistent oriented adjacency (tripoll.Oriented.ApplyPatches)
+// consumes to stay current without diffing snapshots. Page-count decay
+// produces no patches. The sink runs on the mutator goroutine (Add /
+// AdvanceTo / AddAll), so it must not call back into the projector. Pass
+// nil to detach.
+func (p *SlidingProjector) SetEvictionPatchSink(sink func([]graph.EdgePatch)) {
+	p.patchSink = sink
 }
 
 // Snapshot returns a copy-on-write snapshot of the current trailing-window

@@ -16,7 +16,6 @@ import (
 	"sort"
 
 	"coordbot/internal/graph"
-	"coordbot/internal/ygm"
 )
 
 // Triangle is a surveyed triangle in original author IDs, X < Y < Z, with
@@ -78,86 +77,30 @@ func (o Options) effectiveEdgeCut() uint32 {
 	return cut
 }
 
-// Oriented holds the degree-ordered directed view of an adjacency: every
-// edge points from the endpoint with lower (degree, id) to the higher.
-// Exported so network-transport surveys (internal/ygmnet) can reuse the
-// exact orientation and closing-edge lookup.
-type Oriented struct {
-	adj *graph.Adjacency
-	// out[v]: out-neighbors of dense vertex v (order(v) < order(u)),
-	// ascending by dense id, with parallel weights.
-	out [][]int32
-	wt  [][]uint32
-}
-
-// Less is the DODGR total order: by degree, ties by dense id.
-func (o *Oriented) Less(a, b int32) bool {
-	da, db := o.adj.Degree(a), o.adj.Degree(b)
-	if da != db {
-		return da < db
-	}
-	return a < b
-}
-
-// Orient builds the degree-ordered directed view of adj.
-func Orient(adj *graph.Adjacency) *Oriented {
-	n := adj.NumVertices()
-	o := &Oriented{adj: adj, out: make([][]int32, n), wt: make([][]uint32, n)}
-	for v := int32(0); v < int32(n); v++ {
-		nbr := adj.Neighbors(v)
-		wts := adj.Weights(v)
-		for i, u := range nbr {
-			if o.Less(v, u) {
-				o.out[v] = append(o.out[v], u)
-				o.wt[v] = append(o.wt[v], wts[i])
-			}
-		}
-		// adjacency neighbor lists are already ascending, preserved here.
-	}
-	return o
-}
-
-// ClosingWeight returns the weight of the edge between u and w (both
-// higher-order than some pivot), searching the out-list of the lower-order
-// endpoint. Returns (0, false) if absent.
-func (o *Oriented) ClosingWeight(u, w int32) (uint32, bool) {
-	lo, hi := u, w
-	if o.Less(w, u) {
-		lo, hi = w, u
-	}
-	out := o.out[lo]
-	k := sort.Search(len(out), func(i int) bool { return out[i] >= hi })
-	if k < len(out) && out[k] == hi {
-		return o.wt[lo][k], true
-	}
-	return 0, false
-}
-
 // Assemble builds the canonical Triangle (orig IDs sorted, weights mapped)
 // from dense vertices a,b,c and the weights of edges ab, ac, bc.
 func Assemble(adj *graph.Adjacency, a, b, c int32, wab, wac, wbc uint32) Triangle {
-	type vw struct {
-		orig graph.VertexID
-		d    int32
-	}
-	vs := [3]vw{{adj.Orig[a], a}, {adj.Orig[b], b}, {adj.Orig[c], c}}
-	ws := map[[2]int32]uint32{
-		{a, b}: wab, {b, a}: wab,
-		{a, c}: wac, {c, a}: wac,
-		{b, c}: wbc, {c, b}: wbc,
-	}
-	sort.Slice(vs[:], func(i, j int) bool { return vs[i].orig < vs[j].orig })
-	return Triangle{
-		X: vs[0].orig, Y: vs[1].orig, Z: vs[2].orig,
-		WXY: ws[[2]int32{vs[0].d, vs[1].d}],
-		WXZ: ws[[2]int32{vs[0].d, vs[2].d}],
-		WYZ: ws[[2]int32{vs[1].d, vs[2].d}],
-	}
+	return assembleIDs(adj.Orig[a], adj.Orig[b], adj.Orig[c], wab, wac, wbc)
 }
 
-// Out returns dense vertex v's out-neighbors and parallel weights
-// (aliasing internal storage).
-func (o *Oriented) Out(v int32) ([]int32, []uint32) { return o.out[v], o.wt[v] }
+// assembleIDs is the allocation-free triangle assembly: pair each vertex
+// with the weight of its opposite edge — a pairing invariant under
+// permutation — sort the three pairs by vertex with a fixed swap network,
+// and read the canonical weights back off the opposite-edge positions
+// (the weight of edge (X, Y) is the one carried by Z, and so on).
+func assembleIDs(va, vb, vc graph.VertexID, wab, wac, wbc uint32) Triangle {
+	wa, wb, wc := wbc, wac, wab
+	if vb < va {
+		va, vb, wa, wb = vb, va, wb, wa
+	}
+	if vc < vb {
+		vb, vc, wb, wc = vc, vb, wc, wb
+	}
+	if vb < va {
+		va, vb, wa, wb = vb, va, wb, wa
+	}
+	return Triangle{X: va, Y: vb, Z: vc, WXY: wc, WXZ: wb, WYZ: wa}
+}
 
 // EffectiveEdgeCut exposes the edge pruning threshold the survey applies
 // up front for the given options.
@@ -167,27 +110,8 @@ func EffectiveEdgeCut(opts Options) uint32 { return opts.effectiveEdgeCut() }
 // each triangle that passes the thresholds. The reference implementation.
 func SurveySequential(g graph.CIView, opts Options, visit func(Triangle)) {
 	pruned := g.ThresholdView(opts.effectiveEdgeCut())
-	adj := pruned.BuildAdjacency()
-	o := Orient(adj)
-	survey := func(tr Triangle) {
-		if tr.MinWeight() < opts.MinTriangleWeight {
-			return
-		}
-		if opts.MinTScore > 0 && tr.TScore(g.PageCount) < opts.MinTScore {
-			return
-		}
-		visit(tr)
-	}
-	for v := int32(0); v < int32(adj.NumVertices()); v++ {
-		out := o.out[v]
-		for i := 0; i < len(out); i++ {
-			for j := i + 1; j < len(out); j++ {
-				if w, ok := o.ClosingWeight(out[i], out[j]); ok {
-					survey(Assemble(adj, v, out[i], out[j], o.wt[v][i], o.wt[v][j], w))
-				}
-			}
-		}
-	}
+	o := Orient(pruned.BuildAdjacency())
+	o.SurveyAll(opts, g.PageCount, visit)
 }
 
 // SurveyDirtySequential is the delta-survey path: it enumerates only the
@@ -196,121 +120,18 @@ func SurveySequential(g graph.CIView, opts Options, visit func(Triangle)) {
 // at a cost proportional to the dirty frontier's wedges, not the graph's.
 func SurveyDirtySequential(g graph.CIView, opts Options, dirty map[graph.VertexID]bool, visit func(Triangle)) {
 	pruned := g.ThresholdView(opts.effectiveEdgeCut())
-	adj := pruned.BuildAdjacency()
-	o := Orient(adj)
+	o := Orient(pruned.BuildAdjacency())
 	o.SurveyDirty(opts, dirty, g.PageCount, visit)
 }
 
-// SurveyDirty enumerates the oriented view's triangles that touch the
-// dirty vertex set. In the degree-ordered orientation every triangle has
-// a unique pivot — its minimum-order vertex — so the frontier of pivots
-// whose out-wedges can close a dirty triangle is the dirty vertices
-// themselves plus their in-neighbors (a dirty out-neighbor makes the
-// lower-order endpoint the pivot). Each frontier pivot's wedges are
-// checked against the full orientation for closure; wedges with no dirty
-// endpoint are skipped, so every emitted triangle touches dirty and every
-// triangle touching dirty is emitted exactly once. pageCount is only
-// consulted when opts.MinTScore > 0; pass nil otherwise.
-func (o *Oriented) SurveyDirty(opts Options, dirty map[graph.VertexID]bool, pageCount func(graph.VertexID) uint32, visit func(Triangle)) {
-	adj := o.adj
-	frontier := make(map[int32]struct{})
-	for v, d := range dirty {
-		if !d {
-			continue
-		}
-		dv, ok := adj.Dense[v]
-		if !ok {
-			continue
-		}
-		frontier[dv] = struct{}{}
-		for _, u := range adj.Neighbors(dv) {
-			if o.Less(u, dv) {
-				frontier[u] = struct{}{}
-			}
-		}
-	}
-	isDirty := func(d int32) bool { return dirty[adj.Orig[d]] }
-	for v := range frontier {
-		out, wts := o.out[v], o.wt[v]
-		dv := isDirty(v)
-		for i := 0; i < len(out); i++ {
-			di := dv || isDirty(out[i])
-			for j := i + 1; j < len(out); j++ {
-				if !di && !isDirty(out[j]) {
-					continue
-				}
-				cw, ok := o.ClosingWeight(out[i], out[j])
-				if !ok {
-					continue
-				}
-				tr := Assemble(adj, v, out[i], out[j], wts[i], wts[j], cw)
-				if tr.MinWeight() < opts.MinTriangleWeight {
-					continue
-				}
-				if opts.MinTScore > 0 && pageCount != nil && tr.TScore(pageCount) < opts.MinTScore {
-					continue
-				}
-				visit(tr)
-			}
-		}
-	}
-}
-
 // Survey enumerates triangles on a ygm communicator, mirroring TriPoll's
-// structure: pivots are dealt to ranks; each wedge (v; u, w) is shipped to
-// the owner of the closing edge's lower-order endpoint, which checks
-// closure and appends surviving triangles to a distributed bag.
+// structure: pivots are dealt to ranks, each rank closing its wedges with
+// the shared read-only orientation and appending surviving triangles to a
+// distributed bag.
 func Survey(g graph.CIView, opts Options) []Triangle {
 	pruned := g.ThresholdView(opts.effectiveEdgeCut())
-	adj := pruned.BuildAdjacency()
-	o := Orient(adj)
-	n := adj.NumVertices()
-
-	nr := opts.Ranks
-	if nr == 0 {
-		nr = ygm.DefaultRanks()
-	}
-	comm := ygm.NewComm(nr)
-	defer comm.Close()
-	bag := ygm.NewBag[Triangle](comm)
-
-	owner := func(v int32) int { return int(ygm.HashU32(uint32(v)) % uint64(nr)) }
-	pageCount := g.PageCount
-
-	comm.Run(func(r *ygm.Rank) {
-		for v := int32(r.ID()); v < int32(n); v += int32(r.NRanks()) {
-			out := o.out[v]
-			for i := 0; i < len(out); i++ {
-				for j := i + 1; j < len(out); j++ {
-					pivot, u, w := v, out[i], out[j]
-					wu, ww := o.wt[v][i], o.wt[v][j]
-					lo := u
-					if o.Less(w, u) {
-						lo = w
-					}
-					r.Local(owner(lo), func(rr *ygm.Rank) {
-						cw, ok := o.ClosingWeight(u, w)
-						if !ok {
-							return
-						}
-						tr := Assemble(adj, pivot, u, w, wu, ww, cw)
-						if tr.MinWeight() < opts.MinTriangleWeight {
-							return
-						}
-						if opts.MinTScore > 0 && tr.TScore(pageCount) < opts.MinTScore {
-							return
-						}
-						bag.AsyncInsert(rr, tr)
-					})
-				}
-			}
-		}
-		r.Barrier()
-	})
-
-	out := bag.Gather()
-	SortTriangles(out)
-	return out
+	o := Orient(pruned.BuildAdjacency())
+	return o.SurveyParallel(opts, g.PageCount)
 }
 
 // SortTriangles orders triangles by (X, Y, Z), ties broken by
@@ -377,24 +198,77 @@ func Count(g graph.CIView, opts Options) int64 {
 }
 
 // TopKByMinWeight returns the k triangles with the largest minimum edge
-// weight, ties broken by the full (X, Y, Z, WXY, WXZ, WYZ) order, stably —
-// the cut at k is deterministic even on tie-heavy graphs where many
-// triangles share a MinWeight. The paper's "find the triangles with the
-// highest minimum edge weights" query.
+// weight, ties broken by the full (X, Y, Z, WXY, WXZ, WYZ) order — the cut
+// at k is deterministic even on tie-heavy graphs where many triangles
+// share a MinWeight, because the tie-break makes the order total. The
+// paper's "find the triangles with the highest minimum edge weights"
+// query. Runs in O(n log k) via a bounded heap holding the current top k
+// with the worst at the root, instead of fully sorting the census.
 func TopKByMinWeight(ts []Triangle, k int) []Triangle {
-	out := make([]Triangle, len(ts))
-	copy(out, ts)
-	sort.SliceStable(out, func(i, j int) bool {
-		wi, wj := out[i].MinWeight(), out[j].MinWeight()
-		if wi != wj {
-			return wi > wj
-		}
-		return triangleLess(out[i], out[j])
-	})
-	if k < len(out) {
-		out = out[:k]
+	if k <= 0 {
+		return []Triangle{}
 	}
-	return out
+	if k >= len(ts) {
+		out := make([]Triangle, len(ts))
+		copy(out, ts)
+		sort.Slice(out, func(i, j int) bool { return topkBefore(out[i], out[j]) })
+		return out
+	}
+	h := make([]Triangle, 0, k)
+	for _, t := range ts {
+		if len(h) < k {
+			h = append(h, t)
+			topkSiftUp(h, len(h)-1)
+		} else if topkBefore(t, h[0]) {
+			h[0] = t
+			topkSiftDown(h)
+		}
+	}
+	sort.Slice(h, func(i, j int) bool { return topkBefore(h[i], h[j]) })
+	return h
+}
+
+// topkBefore is the top-k output order: MinWeight descending, ties by the
+// canonical triangle order. Total on distinct triangles, so heap selection
+// and a stable full sort agree on every prefix.
+func topkBefore(a, b Triangle) bool {
+	wa, wb := a.MinWeight(), b.MinWeight()
+	if wa != wb {
+		return wa > wb
+	}
+	return triangleLess(a, b)
+}
+
+// topkSiftUp restores the worst-at-root heap property after appending at i.
+func topkSiftUp(h []Triangle, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !topkBefore(h[p], h[i]) {
+			break // parent already worse-or-equal
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+// topkSiftDown restores the worst-at-root heap property after replacing
+// the root.
+func topkSiftDown(h []Triangle) {
+	i, n := 0, len(h)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && topkBefore(h[worst], h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && topkBefore(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }
 
 // CountNaive counts triangles by testing all vertex triples — O(n³),
