@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check vet test test-race bench bench-adjacency fuzz experiments examples clean
+.PHONY: all build check vet test test-race bench bench-adjacency bench-community fuzz experiments examples clean
 
 all: build check
 
@@ -46,6 +46,12 @@ bench:
 # dirty (several minutes on the 80k-author corpus).
 bench-adjacency:
 	BENCH_ADJACENCY_OUT=BENCH_adjacency.json $(GO) test -run TestWriteAdjacencyBench -v -timeout 60m .
+
+# Warm-vs-cold community clustering of the pruned graph across churn
+# fractions; writes the JSON report and enforces the >=3x floor at <=1%
+# dirty (several minutes on the 80k-author corpus).
+bench-community:
+	BENCH_COMMUNITY_OUT=BENCH_community.json $(GO) test -run TestWriteCommunityBench -v -timeout 60m .
 
 # Full-scale reproduction of every paper artifact (~10 min).
 experiments:

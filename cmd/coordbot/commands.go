@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 
+	"coordbot/internal/community"
 	"coordbot/internal/graph"
 	"coordbot/internal/hypergraph"
 	"coordbot/internal/pipeline"
@@ -247,6 +248,10 @@ func cmdPipeline(args []string) error {
 	transport := fs.String("transport", "memory", "Step-1 transport: memory (goroutine ranks) or sharded (owner-computes merge into the lock-striped store)")
 	dotDir := fs.String("dot", "", "write per-component DOT files to this directory")
 	topComps := fs.Int("components", 10, "components to print")
+	communities := fs.Bool("communities", false, "cluster the pruned graph and print the top communities")
+	communityAlgo := fs.String("community-algo", "leiden", "clustering algorithm: leiden or labelprop")
+	resolution := fs.Float64("resolution", 1.0, "Leiden CPM resolution γ")
+	minCommunity := fs.Int("min-community", 3, "smallest community size reported")
 	minW, maxW := windowFlag(fs)
 	fs.Parse(args)
 
@@ -257,6 +262,10 @@ func cmdPipeline(args []string) error {
 		sharded = true
 	default:
 		return fmt.Errorf("unknown -transport %q (pipeline supports memory, sharded)", *transport)
+	}
+	algo, err := community.ParseAlgorithm(*communityAlgo)
+	if err != nil {
+		return err
 	}
 	c, b, ex, err := loadCorpus(*in, *exclude)
 	if err != nil {
@@ -269,6 +278,12 @@ func cmdPipeline(args []string) error {
 		Exclude:           ex,
 		Ranks:             *ranks,
 		Sharded:           sharded,
+		Communities:       *communities,
+		Community: community.Config{
+			Algorithm:  algo,
+			Resolution: *resolution,
+			MinSize:    *minCommunity,
+		},
 	})
 	if err != nil {
 		return err
@@ -296,6 +311,32 @@ func cmdPipeline(args []string) error {
 		fmt.Printf("  (%s, %s, %s) min=%d T=%.3f | w_xyz=%d C=%.3f\n",
 			names(tr.X), names(tr.Y), names(tr.Z),
 			tr.MinWeight(), tr.T, tr.Hyper.W, tr.Hyper.C)
+	}
+	if res.Partition != nil {
+		fmt.Printf("communities (%s, γ=%.2f): %d of size >= %d  [%v]\n",
+			res.Partition.Algorithm, res.Partition.Resolution,
+			len(res.Communities), *minCommunity, res.Timings.Cluster.Round(1e6))
+		for i, cs := range res.Communities {
+			if i >= 10 {
+				fmt.Printf("  … %d more\n", len(res.Communities)-i)
+				break
+			}
+			sample := cs.Members
+			if len(sample) > 5 {
+				sample = sample[:5]
+			}
+			label := make([]string, len(sample))
+			for j, m := range sample {
+				label[j] = names(m)
+			}
+			more := ""
+			if len(cs.Members) > len(sample) {
+				more = ", …"
+			}
+			fmt.Printf("  [%d] size=%d C=%.3f density=%.1f tris=%d w_s=%d (%s%s)\n",
+				cs.ID, cs.Size, cs.C, cs.Density, cs.Triangles, cs.WS,
+				strings.Join(label, ", "), more)
+		}
 	}
 	if *dotDir != "" {
 		if err := os.MkdirAll(*dotDir, 0o755); err != nil {

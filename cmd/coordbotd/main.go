@@ -9,11 +9,12 @@
 //
 // Endpoints (see internal/detectd):
 //
-//	POST /v1/ingest     ingest a JSON array or NDJSON stream of comments
-//	GET  /v1/triangles  latest survey results
-//	GET  /v1/score      live pairwise scores for ?users=a,b,c
-//	GET  /v1/stats      counters and gauges
-//	GET  /healthz       liveness
+//	POST /v1/ingest      ingest a JSON array or NDJSON stream of comments
+//	GET  /v1/triangles   latest survey results
+//	GET  /v1/score       live pairwise scores for ?users=a,b,c
+//	GET  /v1/communities latest community partition (with -communities)
+//	GET  /v1/stats       counters and gauges
+//	GET  /healthz        liveness
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"coordbot/internal/community"
 	"coordbot/internal/detectd"
 	"coordbot/internal/graph"
 	"coordbot/internal/projection"
@@ -52,7 +54,16 @@ func main() {
 	dropLate := fs.Bool("drop-late", false, "drop out-of-order comments instead of clamping to the watermark")
 	ranks := fs.Int("ranks", 0, "survey parallelism (0 = all cores)")
 	shards := fs.Int("shards", 0, "live CI store shard count, rounded up to a power of two (0 = default)")
+	communities := fs.Bool("communities", false, "cluster the pruned graph each cycle and serve /v1/communities")
+	communityAlgo := fs.String("community-algo", "leiden", "clustering algorithm: leiden or labelprop")
+	resolution := fs.Float64("resolution", 1.0, "Leiden CPM resolution γ")
+	minCommunity := fs.Int("min-community", 3, "smallest community size reported")
 	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	algo, err := community.ParseAlgorithm(*communityAlgo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordbotd:", err)
 		os.Exit(2)
 	}
 
@@ -88,6 +99,12 @@ func main() {
 		Ranks:              *ranks,
 		Shards:             *shards,
 		OrientRebuildFrac:  *rebuildFrac,
+		Communities:        *communities,
+		Community: community.Config{
+			Algorithm:  algo,
+			Resolution: *resolution,
+			MinSize:    *minCommunity,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coordbotd:", err)

@@ -1,0 +1,53 @@
+package community
+
+import "math/rand"
+
+// labelPropagate is the cheap fallback: asynchronous weighted label
+// propagation. Every vertex starts with its own label; sweeps visit
+// vertices in a fresh seeded random order and adopt the label with the
+// greatest incident edge weight (ties → smallest label, so the result is
+// a pure function of (subgraph, seed)). Converges when a full sweep
+// changes nothing, capped at maxIter sweeps.
+func labelPropagate(sub *subgraph, seed int64, maxIter int) []int32 {
+	n := sub.n()
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	wTo := make([]uint64, n)
+	touched := make([]int32, 0, 16)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := 0
+		for _, oi := range rng.Perm(n) {
+			i := int32(oi)
+			touched = touched[:0]
+			for k := sub.off[i]; k < sub.off[i+1]; k++ {
+				l := labels[sub.nbr[k]]
+				if wTo[l] == 0 {
+					touched = append(touched, l)
+				}
+				wTo[l] += sub.wt[k]
+			}
+			sortInt32(touched)
+			best := labels[i]
+			var bestW uint64
+			for _, l := range touched {
+				if wTo[l] > bestW {
+					best, bestW = l, wTo[l]
+				}
+			}
+			for _, l := range touched {
+				wTo[l] = 0
+			}
+			if best != labels[i] {
+				labels[i] = best
+				changed++
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return labels
+}

@@ -1,0 +1,318 @@
+package community
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Leiden under the constant Potts model (CPM):
+//
+//	Q = Σ_c [ w_in(c) − γ · n_c·(n_c−1)/2 ]
+//
+// where w_in(c) is the internal edge weight of community c and n_c the
+// number of original vertices it holds. The move gain for a (super)node
+// carrying v original vertices from community cur to community c is
+//
+//	Δ = [w(i→c) − γ·v·n_c] − [w(i→cur\{i}) − γ·v·(n_cur−v)]
+//
+// — purely local, which is what makes the quality decompose over
+// connected components (community.go relies on this for warm starts).
+//
+// The level loop is the standard Leiden shape: queue-based local move,
+// refinement that re-partitions each community from singletons, then
+// aggregation over the refined partition with the local-move partition as
+// the next level's starting point. All randomized orders come from the
+// caller's seeded RNG; all tie-breaks prefer the smallest community ID,
+// so the result is a pure function of (subgraph, γ, seed).
+
+// workGraph is one aggregation level: CSR without self-loops, nodeW[i]
+// counting the original vertices behind (super)node i.
+type workGraph struct {
+	n     int
+	off   []int32
+	nbr   []int32
+	wt    []uint64
+	nodeW []int32
+}
+
+// leiden clusters one connected component and returns per-vertex labels
+// (arbitrary small ints; canonicalGroups renumbers them).
+func leiden(sub *subgraph, gamma float64, seed int64, maxLevels int) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	n := sub.n()
+	g := &workGraph{n: n, off: sub.off, nbr: sub.nbr, wt: sub.wt, nodeW: make([]int32, n)}
+	comm := make([]int32, n)
+	origToSuper := make([]int32, n)
+	labels := make([]int32, n)
+	for i := range comm {
+		g.nodeW[i] = 1
+		comm[i] = int32(i)
+		origToSuper[i] = int32(i)
+	}
+	for level := 0; level < maxLevels; level++ {
+		localMove(g, comm, gamma, rng)
+		for v := range labels {
+			labels[v] = comm[origToSuper[v]]
+		}
+		refined := refine(g, comm, gamma, rng)
+		newG, newComm, refRenum := aggregate(g, refined, comm)
+		if newG.n == g.n {
+			break // refinement kept every node separate: a fixed point
+		}
+		for v := range origToSuper {
+			origToSuper[v] = refRenum[refined[origToSuper[v]]]
+		}
+		g, comm = newG, newComm
+	}
+	return labels
+}
+
+// intHeap is a min-heap of community IDs — the freelist of emptied
+// communities, so "move to an empty community" always offers the smallest
+// available ID (determinism of tie-breaks depends on this).
+type intHeap []int32
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int32)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// localMove runs the queue-based CPM local-moving phase in place on comm,
+// returning the number of moves performed. Community IDs stay < g.n.
+func localMove(g *workGraph, comm []int32, gamma float64, rng *rand.Rand) int {
+	n := g.n
+	commW := make([]int64, n) // original-vertex mass per community
+	for i := 0; i < n; i++ {
+		commW[comm[i]] += int64(g.nodeW[i])
+	}
+	free := &intHeap{}
+	for c := int32(0); c < int32(n); c++ {
+		if commW[c] == 0 {
+			*free = append(*free, c)
+		}
+	}
+	heap.Init(free)
+
+	// wTo[c] accumulates i's edge weight into community c for the node
+	// under consideration; touched tracks which entries to reset.
+	wTo := make([]uint64, n)
+	touched := make([]int32, 0, 16)
+
+	queue := make([]int32, 0, n)
+	inQueue := make([]bool, n)
+	for _, i := range rng.Perm(n) {
+		queue = append(queue, int32(i))
+		inQueue[i] = true
+	}
+
+	moves := 0
+	for head := 0; head < len(queue); head++ {
+		i := queue[head]
+		inQueue[i] = false
+		cur := comm[i]
+		v := int64(g.nodeW[i])
+
+		touched = touched[:0]
+		for k := g.off[i]; k < g.off[i+1]; k++ {
+			c := comm[g.nbr[k]]
+			if wTo[c] == 0 {
+				touched = append(touched, c)
+			}
+			wTo[c] += g.wt[k]
+		}
+		// The cost of leaving cur behind; Δ(c) is measured against it.
+		leave := float64(wTo[cur]) - gamma*float64(v)*float64(commW[cur]-v)
+
+		best := cur
+		bestGain := 0.0
+		// Candidates in ascending ID order so that the first of any tied
+		// gains (the smallest ID) wins via the strict comparison below.
+		sortInt32(touched)
+		for _, c := range touched {
+			if c == cur {
+				continue
+			}
+			gain := float64(wTo[c]) - gamma*float64(v)*float64(commW[c]) - leave
+			if gain > bestGain || (gain == bestGain && gain > 0 && c < best) {
+				best, bestGain = c, gain
+			}
+		}
+		// Detaching into an empty community: gain = −leave.
+		if free.Len() > 0 && commW[cur] > v {
+			e := (*free)[0]
+			gain := -leave
+			if gain > bestGain || (gain == bestGain && gain > 0 && e < best) {
+				best, bestGain = e, gain
+			}
+		}
+		for _, c := range touched {
+			wTo[c] = 0
+		}
+		if best == cur {
+			continue
+		}
+
+		// Apply the move, maintaining the freelist.
+		commW[cur] -= v
+		if commW[cur] == 0 {
+			heap.Push(free, cur)
+		}
+		if commW[best] == 0 && free.Len() > 0 && (*free)[0] == best {
+			heap.Pop(free)
+		}
+		commW[best] += v
+		comm[i] = best
+		moves++
+		for k := g.off[i]; k < g.off[i+1]; k++ {
+			j := g.nbr[k]
+			if comm[j] != best && !inQueue[j] {
+				queue = append(queue, j)
+				inQueue[j] = true
+			}
+		}
+	}
+	return moves
+}
+
+// refine re-partitions each local-move community from singletons: nodes
+// are visited in seeded random order and a node still alone may merge
+// into the neighboring refined community (within its own local-move
+// community) with the best strictly positive CPM gain. Starting from a
+// singleton the leave term is zero, so Δ(r) = w(i→r) − γ·v_i·n_r.
+func refine(g *workGraph, comm []int32, gamma float64, rng *rand.Rand) []int32 {
+	n := g.n
+	refined := make([]int32, n)
+	refW := make([]int64, n)
+	refSize := make([]int32, n)
+	for i := 0; i < n; i++ {
+		refined[i] = int32(i)
+		refW[i] = int64(g.nodeW[i])
+		refSize[i] = 1
+	}
+	wTo := make([]uint64, n)
+	touched := make([]int32, 0, 16)
+	for _, oi := range rng.Perm(n) {
+		i := int32(oi)
+		if refSize[refined[i]] != 1 {
+			continue // only nodes still alone may move (Leiden's guarantee)
+		}
+		v := int64(g.nodeW[i])
+		touched = touched[:0]
+		for k := g.off[i]; k < g.off[i+1]; k++ {
+			j := g.nbr[k]
+			if comm[j] != comm[i] {
+				continue
+			}
+			r := refined[j]
+			if wTo[r] == 0 {
+				touched = append(touched, r)
+			}
+			wTo[r] += g.wt[k]
+		}
+		sortInt32(touched)
+		best := refined[i]
+		bestGain := 0.0
+		for _, r := range touched {
+			if r == refined[i] {
+				continue
+			}
+			gain := float64(wTo[r]) - gamma*float64(v)*float64(refW[r])
+			if gain > bestGain {
+				best, bestGain = r, gain
+			}
+		}
+		for _, r := range touched {
+			wTo[r] = 0
+		}
+		if best != refined[i] {
+			refSize[refined[i]]--
+			refined[i] = best
+			refW[best] += v
+			refSize[best]++
+		}
+	}
+	return refined
+}
+
+// aggregate collapses the refined partition into the next level's graph.
+// Refined communities are renumbered by first appearance over ascending
+// node index; the returned comm places each supernode in its local-move
+// community (also compactly renumbered) — Leiden's standard handoff.
+// Self-loops are dropped: under CPM they add a constant to every
+// partition's quality and never enter a move gain.
+func aggregate(g *workGraph, refined, comm []int32) (*workGraph, []int32, []int32) {
+	n := g.n
+	refRenum := make([]int32, n)
+	for i := range refRenum {
+		refRenum[i] = -1
+	}
+	newN := int32(0)
+	for i := 0; i < n; i++ {
+		if refRenum[refined[i]] < 0 {
+			refRenum[refined[i]] = newN
+			newN++
+		}
+	}
+	members := make([][]int32, newN)
+	for i := 0; i < n; i++ {
+		r := refRenum[refined[i]]
+		members[r] = append(members[r], int32(i))
+	}
+
+	newG := &workGraph{
+		n:     int(newN),
+		off:   make([]int32, newN+1),
+		nodeW: make([]int32, newN),
+	}
+	newComm := make([]int32, newN)
+	commRenum := make(map[int32]int32, newN)
+	wTo := make([]uint64, newN)
+	touched := make([]int32, 0, 16)
+	for r := int32(0); r < newN; r++ {
+		c := comm[members[r][0]]
+		nc, ok := commRenum[c]
+		if !ok {
+			nc = int32(len(commRenum))
+			commRenum[c] = nc
+		}
+		newComm[r] = nc
+		touched = touched[:0]
+		for _, i := range members[r] {
+			newG.nodeW[r] += g.nodeW[i]
+			for k := g.off[i]; k < g.off[i+1]; k++ {
+				t := refRenum[refined[g.nbr[k]]]
+				if t == r {
+					continue
+				}
+				if wTo[t] == 0 {
+					touched = append(touched, t)
+				}
+				wTo[t] += g.wt[k]
+			}
+		}
+		sortInt32(touched)
+		for _, t := range touched {
+			newG.nbr = append(newG.nbr, t)
+			newG.wt = append(newG.wt, wTo[t])
+			wTo[t] = 0
+		}
+		newG.off[r+1] = int32(len(newG.nbr))
+	}
+	return newG, newComm, refRenum
+}
+
+// sortInt32 is an insertion sort for the short candidate lists above —
+// avoids a sort.Slice closure in the hot loop.
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

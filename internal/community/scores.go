@@ -1,0 +1,137 @@
+package community
+
+import (
+	"sort"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/hypergraph"
+	"coordbot/internal/tripoll"
+)
+
+// CommunityScore generalizes the pairwise and group coordination metrics
+// to one community S of k members:
+//
+//   - InternalWeight: Σ_{u<v∈S} w'_uv — the community's CI mass.
+//   - Density: 2·InternalWeight / (k·(k−1)) — mean weight per member pair.
+//   - C: 2·InternalWeight / ((k−1)·Σ_m P'_m) — the community coordination
+//     score. It generalizes the paper's pairwise C = 2·w'_uv/(P'_u+P'_v):
+//     for k = 2 the two coincide, and it stays in [0, 1] because each
+//     w'_uv ≤ min(P'_u, P'_v) bounds the numerator by (k−1)·Σ P'. A
+//     lockstep campaign (every pair co-occurring on every page) scores 1;
+//     organically overlapping users score near 0.
+//   - WS / CS: the strict hypergraph metrics w_S and C(S) from
+//     hypergraph.GroupWeight/GroupCScore — pages shared by every member.
+//     Meaningful for tight cores, usually 0 for large communities (one
+//     missing member zeroes the intersection), which is exactly why the
+//     CI-level C above is the headline score.
+//   - Triangles: census triangles falling entirely inside the community —
+//     how much of the triangle layer's evidence this community explains.
+type CommunityScore struct {
+	// ID is the community's index in the Partition.
+	ID int `json:"id"`
+	// Size is the member count.
+	Size int `json:"size"`
+	// Members are the author IDs, sorted ascending.
+	Members []graph.VertexID `json:"members"`
+	// InternalWeight is Σ w'_uv over internal pairs.
+	InternalWeight uint64 `json:"internal_weight"`
+	// Density is mean weight per member pair.
+	Density float64 `json:"density"`
+	// C is the community coordination score in [0, 1].
+	C float64 `json:"c"`
+	// WS is the hypergraph group weight w_S (0 without a BTM).
+	WS int `json:"ws"`
+	// CS is the hypergraph group score C(S) (0 without a BTM).
+	CS float64 `json:"cs"`
+	// Triangles counts census triangles inside the community.
+	Triangles int `json:"triangles"`
+}
+
+// ScoreCommunities scores every community of p with at least minSize
+// members against the view the partition was computed on. btm may be nil
+// (hypergraph metrics report 0); tris is the cached triangle census (may
+// be nil). Results are ordered by C descending, ties by size descending
+// then smallest member — the order /v1/communities serves.
+func ScoreCommunities(p *Partition, v graph.CIView, btm *graph.BTM, tris []tripoll.Triangle, minSize int) []CommunityScore {
+	if p == nil {
+		return nil
+	}
+	if minSize < 2 {
+		minSize = 2
+	}
+	// One pass over the edges accumulates internal weight per community —
+	// O(|I|) regardless of community sizes.
+	internal := make([]uint64, len(p.Communities))
+	v.ForEachEdge(func(a, b graph.VertexID, w uint32) bool {
+		ca, ok := p.Comm[a]
+		if !ok {
+			return true
+		}
+		if cb, ok := p.Comm[b]; ok && ca == cb {
+			internal[ca] += uint64(w)
+		}
+		return true
+	})
+	// One pass over the census attributes triangles.
+	triCount := make([]int, len(p.Communities))
+	for _, t := range tris {
+		cx, ok := p.Comm[t.X]
+		if !ok {
+			continue
+		}
+		if cy, ok := p.Comm[t.Y]; !ok || cy != cx {
+			continue
+		}
+		if cz, ok := p.Comm[t.Z]; !ok || cz != cx {
+			continue
+		}
+		triCount[cx]++
+	}
+
+	out := make([]CommunityScore, 0, len(p.Communities))
+	for id, members := range p.Communities {
+		k := len(members)
+		if k < minSize {
+			continue
+		}
+		cs := CommunityScore{
+			ID:             id,
+			Size:           k,
+			Members:        members,
+			InternalWeight: internal[id],
+			Triangles:      triCount[id],
+		}
+		pairs := float64(k) * float64(k-1) / 2
+		cs.Density = float64(cs.InternalWeight) / pairs
+		var sumP float64
+		for _, m := range members {
+			sumP += float64(v.PageCount(m))
+		}
+		if sumP > 0 {
+			cs.C = 2 * float64(cs.InternalWeight) / (float64(k-1) * sumP)
+		}
+		if btm != nil && membersInRange(members, btm.NumAuthors()) {
+			g := hypergraph.Group(members) // already sorted and distinct
+			cs.WS = hypergraph.GroupWeight(btm, g)
+			cs.CS = hypergraph.GroupCScore(btm, g)
+		}
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].C != out[j].C {
+			return out[i].C > out[j].C
+		}
+		if out[i].Size != out[j].Size {
+			return out[i].Size > out[j].Size
+		}
+		return out[i].Members[0] < out[j].Members[0]
+	})
+	return out
+}
+
+// membersInRange guards the BTM lookups: members are sorted, so checking
+// the last suffices. (A view can legitimately hold authors the BTM never
+// saw when the caller scores against a foreign census.)
+func membersInRange(members []graph.VertexID, numAuthors int) bool {
+	return len(members) > 0 && int(members[len(members)-1]) < numAuthors
+}

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"coordbot/internal/community"
 	"coordbot/internal/graph"
 	"coordbot/internal/hypergraph"
 	"coordbot/internal/interner"
@@ -97,6 +98,18 @@ type Config struct {
 	// forces a re-orientation after every patched cycle (the conservative
 	// tight-degree-bound mode).
 	OrientRebuildFrac float64
+	// Communities enables the clustering layer: each cycle partitions the
+	// pruned snapshot into communities (Leiden or Label Propagation) and
+	// scores them with the generalized coordination metrics, served at
+	// /v1/communities. The partition is cached between cycles and, on
+	// delta cycles, warm-started: connected components untouched by the
+	// dirty-vertex diff reuse their previous assignment verbatim (the
+	// result is provably identical to clustering from scratch — see
+	// package community).
+	Communities bool
+	// Community parameterizes the clustering (zero value = Leiden,
+	// resolution 1.0, min community size 3, seed 1).
+	Community community.Config
 }
 
 // edgeCut is the effective edge threshold of the survey (and the
@@ -166,6 +179,13 @@ type SurveyResult struct {
 	OrientEpoch        int64
 	OrientPatchedEdges int64
 	OrientRebuilds     int64
+	// Communities counts the scored communities of this cycle (those with
+	// >= Config.Community.MinSize members; 0 without Config.Communities).
+	// ReusedComponents / ClusteredComponents split the pruned graph's
+	// connected components between warm-start reuse and fresh clustering.
+	Communities         int
+	ReusedComponents    int
+	ClusteredComponents int
 
 	// snap / btm are the immutable inputs the survey ran on, kept for
 	// same-package consumers: the score endpoint's group metrics and the
@@ -213,6 +233,10 @@ type surveyCache struct {
 	// begins so a failed cycle can never leave a half-patched orientation
 	// attributed to pruned.
 	oriented *tripoll.Oriented
+	// partition is pruned's community assignment (nil without
+	// Config.Communities). The next delta cycle warm-starts from it,
+	// reusing components with no dirty vertex.
+	partition *community.Partition
 }
 
 // Service is the daemon. Create with NewService, start the background
@@ -260,6 +284,10 @@ type Service struct {
 	orientEpoch         atomic.Int64
 	orientPatchedEdges  atomic.Int64
 	orientRebuilds      atomic.Int64
+
+	lastCommunities     atomic.Int64
+	componentsReused    atomic.Int64
+	componentsClustered atomic.Int64
 
 	metrics *metrics
 	started time.Time
@@ -606,7 +634,31 @@ func (s *Service) SurveyNow() (*SurveyResult, error) {
 		s.mu.Unlock()
 		return nil, err
 	}
-	s.cache = &surveyCache{snap: ci, pruned: pruned, tris: tris, hyper: hyper, oriented: oriented}
+
+	// Community layer: warm-start the clustering from the cached
+	// partition on delta cycles — components untouched by the dirty set
+	// reuse their assignment, so steady-state clustering rides the same
+	// diff the survey does. The result is identical to a cold run.
+	var partition *community.Partition
+	if s.cfg.Communities {
+		t0 := time.Now()
+		ccfg := s.cfg.Community.Defaults()
+		var prevPart *community.Partition
+		var warmDirty map[graph.VertexID]bool
+		if delta && cache != nil {
+			prevPart, warmDirty = cache.partition, dirty
+		}
+		partition = community.DetectWarm(res.Thresholded, ccfg, prevPart, warmDirty)
+		kept := make([]tripoll.Triangle, len(res.Triangles))
+		for i := range res.Triangles {
+			kept[i] = res.Triangles[i].Triangle
+		}
+		res.Partition = partition
+		res.Communities = community.ScoreCommunities(partition, res.Thresholded, btm, kept, ccfg.MinSize)
+		res.Timings.Cluster = time.Since(t0)
+	}
+
+	s.cache = &surveyCache{snap: ci, pruned: pruned, tris: tris, hyper: hyper, oriented: oriented, partition: partition}
 	s.orientEpoch.Store(oriented.Epoch())
 	s.orientPatchedEdges.Store(oriented.PatchedEdges())
 	s.orientRebuilds.Store(oriented.Rebuilds())
@@ -628,6 +680,14 @@ func (s *Service) SurveyNow() (*SurveyResult, error) {
 		snap:                ci,
 		btm:                 btm,
 		stamp:               st,
+	}
+	if partition != nil {
+		sr.Communities = len(res.Communities)
+		sr.ReusedComponents = partition.ReusedComponents
+		sr.ClusteredComponents = partition.ClusteredComponents
+		s.lastCommunities.Store(int64(sr.Communities))
+		s.componentsReused.Add(int64(sr.ReusedComponents))
+		s.componentsClustered.Add(int64(sr.ClusteredComponents))
 	}
 	if delta {
 		sr.DirtyShards, sr.DirtyVertices = dirtyShards, len(dirty)

@@ -14,6 +14,12 @@
 //	                      served from the survey's cached triangle census
 //	                      when the triplet is in it, live point reads
 //	                      otherwise.
+//	GET  /v1/communities — latest cycle's community partition, strongest
+//	                      coordination score first. ?min_c=0.5 filters on
+//	                      the community C score, ?limit=20 truncates,
+//	                      ?members=false omits the member lists. 404 until
+//	                      a survey completes, 501 when the daemon runs
+//	                      without the community layer.
 //	GET  /v1/stats      — ingest counters, live-graph gauges, survey
 //	                      cadence, per-endpoint latency/throughput.
 //	GET  /healthz       — liveness (503 once shutdown has begun).
@@ -106,6 +112,13 @@ type StatsOut struct {
 	OrientEpoch        int64 `json:"orient_epoch"`
 	OrientPatchedEdges int64 `json:"orient_patched_edges"`
 	OrientRebuilds     int64 `json:"orient_rebuilds"`
+	// Community-layer counters (zero without Config.Communities): scored
+	// communities in the latest cycle, and the cumulative warm-start
+	// split of connected components between verbatim reuse and fresh
+	// clustering.
+	LastCommunities     int64 `json:"last_communities"`
+	ComponentsReused    int64 `json:"components_reused"`
+	ComponentsClustered int64 `json:"components_clustered"`
 
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 }
@@ -116,6 +129,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/ingest", s.metrics.instrument("/v1/ingest", s.handleIngest))
 	mux.HandleFunc("/v1/triangles", s.metrics.instrument("/v1/triangles", s.handleTriangles))
 	mux.HandleFunc("/v1/score", s.metrics.instrument("/v1/score", s.handleScore))
+	mux.HandleFunc("/v1/communities", s.metrics.instrument("/v1/communities", s.handleCommunities))
 	mux.HandleFunc("/v1/stats", s.metrics.instrument("/v1/stats", s.handleStats))
 	mux.HandleFunc("/healthz", s.handleHealth)
 	return mux
@@ -514,6 +528,119 @@ func (s *Service) scoreGroup(out *ScoreOut, ids []graph.VertexID) {
 	out.Group = go2
 }
 
+// CommunityOut is the wire form of one scored community.
+type CommunityOut struct {
+	ID   int `json:"id"`
+	Size int `json:"size"`
+	// Members are author names, present unless ?members=false.
+	Members []string `json:"members,omitempty"`
+	// InternalWeight / Density / C are the CI-level metrics; WS / CS the
+	// strict hypergraph group metrics (0 without a windowed comment log);
+	// Triangles counts census triangles inside the community.
+	InternalWeight uint64  `json:"internal_weight"`
+	Density        float64 `json:"density"`
+	C              float64 `json:"c"`
+	WS             int     `json:"w_s"`
+	CS             float64 `json:"c_s"`
+	Triangles      int     `json:"triangles"`
+}
+
+// CommunitiesOut is the /v1/communities response.
+type CommunitiesOut struct {
+	Cycle     int64     `json:"cycle"`
+	Watermark int64     `json:"watermark"`
+	TakenAt   time.Time `json:"taken_at"`
+	// Algorithm / Resolution / MinSize echo the clustering knobs.
+	Algorithm  string  `json:"algorithm"`
+	Resolution float64 `json:"resolution"`
+	MinSize    int     `json:"min_size"`
+	// Total counts every scored community of the cycle; Communities may
+	// be shorter (min_c / limit filters). ReusedComponents and
+	// ClusteredComponents report how much of the partition the warm
+	// start carried over.
+	Total               int            `json:"total"`
+	ReusedComponents    int            `json:"reused_components"`
+	ClusteredComponents int            `json:"clustered_components"`
+	Communities         []CommunityOut `json:"communities"`
+}
+
+func (s *Service) handleCommunities(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if !s.cfg.Communities {
+		writeErr(w, http.StatusNotImplemented, "community layer disabled (start with -communities)")
+		return
+	}
+	sr := s.Latest()
+	if sr == nil || sr.Result.Partition == nil {
+		writeErr(w, http.StatusNotFound, "no survey has completed yet")
+		return
+	}
+	q := r.URL.Query()
+	minC := 0.0
+	if v := q.Get("min_c"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad min_c: %v", err)
+			return
+		}
+		minC = f
+	}
+	limit := -1
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	withMembers := q.Get("members") != "false"
+
+	ccfg := s.cfg.Community.Defaults()
+	part := sr.Result.Partition
+	out := CommunitiesOut{
+		Cycle:               sr.Cycle,
+		Watermark:           sr.Watermark,
+		TakenAt:             sr.TakenAt,
+		Algorithm:           part.Algorithm.String(),
+		Resolution:          part.Resolution,
+		MinSize:             ccfg.MinSize,
+		Total:               len(sr.Result.Communities),
+		ReusedComponents:    part.ReusedComponents,
+		ClusteredComponents: part.ClusteredComponents,
+	}
+	// Already sorted by C descending (community.ScoreCommunities).
+	for _, cs := range sr.Result.Communities {
+		if cs.C < minC {
+			continue
+		}
+		co := CommunityOut{
+			ID:             cs.ID,
+			Size:           cs.Size,
+			InternalWeight: cs.InternalWeight,
+			Density:        cs.Density,
+			C:              cs.C,
+			WS:             cs.WS,
+			CS:             cs.CS,
+			Triangles:      cs.Triangles,
+		}
+		if withMembers {
+			co.Members = make([]string, len(cs.Members))
+			for i, m := range cs.Members {
+				co.Members[i] = s.nameOf(m)
+			}
+		}
+		out.Communities = append(out.Communities, co)
+		if limit >= 0 && len(out.Communities) >= limit {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, "GET only")
@@ -552,6 +679,9 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		OrientEpoch:         s.orientEpoch.Load(),
 		OrientPatchedEdges:  s.orientPatchedEdges.Load(),
 		OrientRebuilds:      s.orientRebuilds.Load(),
+		LastCommunities:     s.lastCommunities.Load(),
+		ComponentsReused:    s.componentsReused.Load(),
+		ComponentsClustered: s.componentsClustered.Load(),
 
 		Endpoints: s.metrics.snapshot(),
 	}

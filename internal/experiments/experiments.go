@@ -70,6 +70,8 @@ func (l *Lab) Dataset(name string) *redditgen.Dataset {
 		cfg = redditgen.Jan2020(l.Scale)
 	case "oct2016":
 		cfg = redditgen.Oct2016(l.Scale)
+	case "largecampaign":
+		cfg = redditgen.LargeCampaign(l.Scale)
 	default:
 		panic(fmt.Sprintf("experiments: unknown dataset %q", name))
 	}
@@ -161,7 +163,7 @@ func (r *Report) WriteText(w io.Writer) error {
 // IDs lists all experiment identifiers in run order.
 func IDs() []string {
 	return []string{"f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10",
-		"s1", "s3", "s4", "x1", "x2", "x4", "x5", "x6"}
+		"s1", "s3", "s4", "x1", "x2", "x4", "x5", "x6", "x7"}
 }
 
 // Describe returns a one-line description of an experiment ID without
@@ -186,6 +188,7 @@ func Describe(id string) string {
 		"x4":  "Temporal pipeline vs co-share similarity baseline",
 		"x5":  "Behaviour classification from delay profiles",
 		"x6":  "Sockpuppet chains and window targeting",
+		"x7":  "Community recovery: Leiden vs planted 20-200 account campaigns",
 	}
 	return desc[id]
 }
@@ -243,6 +246,8 @@ func (l *Lab) Figure(id string) (*Report, error) {
 		return l.X5()
 	case "x6":
 		return l.X6()
+	case "x7":
+		return l.X7()
 	default:
 		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", id, IDs())
 	}

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"sort"
+
 	"coordbot/internal/backbone"
 	"coordbot/internal/baseline"
 	"coordbot/internal/graph"
 	"coordbot/internal/pipeline"
 	"coordbot/internal/projection"
 	"coordbot/internal/redditgen"
+	"coordbot/internal/stats"
 	"coordbot/internal/temporal"
 )
 
@@ -247,5 +250,110 @@ func (l *Lab) X4() (*Report, error) {
 		r.addf("highest-ranked cohort pair sits at similarity rank %d of %d (top %.2f%%)",
 			firstCohortRank, len(edges), 100*float64(firstCohortRank)/float64(len(edges)))
 	}
+	return r, nil
+}
+
+// X7 validates the community layer the way the paper's clustering-analysis
+// framing implies: plant campaigns far larger than a triangle (20–200
+// accounts, redditgen.LargeCampaign), cluster the pruned CI graph with
+// Leiden, and score the recovered partition against ground truth with the
+// partition-similarity metrics. The benign book-club cohort rides along as
+// the confuser that must stay below the coordination-score threshold.
+func (l *Lab) X7() (*Report, error) {
+	r := &Report{
+		ID:    "x7",
+		Title: "Community recovery vs planted large campaigns (extension)",
+		Paper: "the paper stops at triangles; Weber & Neumann find coordinating communities by clustering the inferred interaction graph (Leiden, with Label Propagation as the cheap fallback)",
+	}
+	d := l.Dataset("largecampaign")
+	b := l.BTM("largecampaign")
+	res, err := pipeline.Run(b, pipeline.Config{
+		Window:            projection.Window{Min: 0, Max: 60},
+		MinTriangleWeight: 25,
+		Exclude:           d.Helpers,
+		Ranks:             l.Ranks,
+		Communities:       true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Partition similarity over the planted members: truth labels one
+	// campaign each; recovered labels are partition community IDs, with
+	// fresh singleton labels for members the pruned graph dropped.
+	campaigns := make([]string, 0, len(d.Truth))
+	for name := range d.Truth {
+		campaigns = append(campaigns, name)
+	}
+	sort.Strings(campaigns)
+	var truthL, gotL []int
+	missing := 0
+	fresh := len(res.Partition.Communities)
+	for ci, name := range campaigns {
+		for _, m := range d.Truth[name] {
+			truthL = append(truthL, ci)
+			if c, ok := res.Partition.Comm[m]; ok {
+				gotL = append(gotL, c)
+			} else {
+				gotL = append(gotL, fresh)
+				fresh++
+				missing++
+			}
+		}
+	}
+	r.addf("planted members: %d across %d campaigns (%d missing from the pruned graph)",
+		len(truthL), len(campaigns), missing)
+	r.addf("partition similarity: NMI = %.3f, ARI = %.3f",
+		stats.NMI(truthL, gotL), stats.ARI(truthL, gotL))
+	r.addf("weighted modularity of the recovered partition: %.3f",
+		graph.WeightedModularity(res.Thresholded, res.Partition.Comm))
+
+	// Per-campaign recovery plus the community coordination score.
+	byID := make(map[int]int, len(res.Communities))
+	for i, cs := range res.Communities {
+		byID[cs.ID] = i
+	}
+	for _, name := range campaigns {
+		members := d.Truth[name]
+		counts := make(map[int]int)
+		for _, m := range members {
+			if c, ok := res.Partition.Comm[m]; ok {
+				counts[c]++
+			}
+		}
+		best, bestN := -1, 0
+		for c, n := range counts {
+			if n > bestN || (n == bestN && c < best) {
+				best, bestN = c, n
+			}
+		}
+		if best < 0 {
+			r.addf("%-12s NOT RECOVERED (no member survived pruning)", name)
+			continue
+		}
+		cscore := 0.0
+		if i, ok := byID[best]; ok {
+			cscore = res.Communities[i].C
+		}
+		r.addf("%-12s %3d members -> community %d holds %d (size %d), C = %.3f",
+			name, len(members), best, bestN, len(res.Partition.Communities[best]), cscore)
+	}
+
+	// The confuser: no community containing a cohort member may score
+	// anywhere near the campaigns.
+	cohort := d.Benign["bookclub"]
+	maxC, inGraph := 0.0, 0
+	for _, m := range cohort {
+		c, ok := res.Partition.Comm[m]
+		if !ok {
+			continue
+		}
+		inGraph++
+		if i, ok := byID[c]; ok && res.Communities[i].C > maxC {
+			maxC = res.Communities[i].C
+		}
+	}
+	r.addf("benign cohort: %d/%d members in the pruned graph; max community C = %.3f (threshold 0.5)",
+		inGraph, len(cohort), maxC)
 	return r, nil
 }

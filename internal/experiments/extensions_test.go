@@ -58,3 +58,43 @@ func TestX4PipelineIgnoresCohortBaselineDoesNot(t *testing.T) {
 		t.Fatalf("baseline flagged only %d/%d cohort members — scenario not discriminative", flagged, total)
 	}
 }
+
+func TestX7LeidenRecoversPlantedCampaigns(t *testing.T) {
+	lab := newTestLab(t)
+	r, err := lab.Figure("x7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nmi, ari float64
+	found := false
+	for _, m := range r.Measured {
+		if n, _ := fmt.Sscanf(m, "partition similarity: NMI = %f, ARI = %f", &nmi, &ari); n == 2 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("could not parse X7 output: %v", r.Measured)
+	}
+	if nmi < 0.8 {
+		t.Fatalf("NMI %.3f < 0.8 — campaigns not recovered:\n%s", nmi, strings.Join(r.Measured, "\n"))
+	}
+	var inGraph, cohort int
+	var maxC float64
+	found = false
+	for _, m := range r.Measured {
+		if n, _ := fmt.Sscanf(m,
+			"benign cohort: %d/%d members in the pruned graph; max community C = %f",
+			&inGraph, &cohort, &maxC); n == 3 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("could not parse X7 cohort line: %v", r.Measured)
+	}
+	if maxC >= 0.5 {
+		t.Fatalf("benign cohort reached community C = %.3f (>= 0.5):\n%s",
+			maxC, strings.Join(r.Measured, "\n"))
+	}
+}

@@ -77,3 +77,58 @@ func DegreeHistogram(adj *Adjacency) map[int]int {
 	}
 	return h
 }
+
+// WeightedModularity computes the weighted Newman modularity of a
+// partition over the view:
+//
+//	Q = Σ_c [ w_in(c)/m − (deg_c / 2m)² ]
+//
+// where m is the total edge weight, w_in(c) community c's internal edge
+// weight, and deg_c the summed weighted degree of its members. Vertices
+// absent from comm count as singleton communities (contributing no
+// internal weight). Returns 0 for an edgeless view. This is the quality
+// report the experiments print next to NMI — the community layer itself
+// optimizes CPM, so modularity is an independent check, not the
+// objective.
+func WeightedModularity(v CIView, comm map[VertexID]int) float64 {
+	var m float64           // total edge weight (each edge once)
+	win := map[int]float64{}  // internal weight per community
+	deg := map[int]float64{}  // weighted degree per community
+	// Singleton fallbacks get negative IDs so they never collide with
+	// caller-assigned community indices.
+	next := -1
+	cid := func(u VertexID) int {
+		if c, ok := comm[u]; ok {
+			return c
+		}
+		c := next
+		next--
+		comm[u] = c
+		return c
+	}
+	// Copy comm so the singleton fallback does not mutate the caller's map.
+	cp := make(map[VertexID]int, len(comm))
+	for k, val := range comm {
+		cp[k] = val
+	}
+	comm = cp
+	v.ForEachEdge(func(a, b VertexID, w uint32) bool {
+		fw := float64(w)
+		m += fw
+		ca, cb := cid(a), cid(b)
+		deg[ca] += fw
+		deg[cb] += fw
+		if ca == cb {
+			win[ca] += fw
+		}
+		return true
+	})
+	if m == 0 {
+		return 0
+	}
+	q := 0.0
+	for c, d := range deg {
+		q += win[c]/m - (d/(2*m))*(d/(2*m))
+	}
+	return q
+}

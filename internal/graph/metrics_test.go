@@ -119,3 +119,49 @@ func TestQuickDiameterBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWeightedModularityHandComputed checks Q against a small graph worked
+// out by hand: two unit-weight triangles {1,2,3} and {4,5,6} joined by the
+// bridge 3–4. m = 7; each triangle community has w_in = 3 and summed
+// degree 7, so Q = 2·(3/7 − (7/14)²) = 6/7 − 1/2 = 5/14.
+func TestWeightedModularityHandComputed(t *testing.T) {
+	g := NewCIGraph()
+	for _, e := range [][2]VertexID{{1, 2}, {1, 3}, {2, 3}, {4, 5}, {4, 6}, {5, 6}, {3, 4}} {
+		g.AddEdgeWeight(e[0], e[1], 1)
+	}
+	comm := map[VertexID]int{1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 1}
+	got := WeightedModularity(g, comm)
+	want := 5.0 / 14.0
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("Q = %v, want %v", got, want)
+	}
+	if len(comm) != 6 {
+		t.Fatalf("caller's comm map mutated: %v", comm)
+	}
+
+	// The trivial all-in-one partition always has Q = 0.
+	one := map[VertexID]int{1: 0, 2: 0, 3: 0, 4: 0, 5: 0, 6: 0}
+	if q := WeightedModularity(g, one); q != 0 {
+		t.Fatalf("all-in-one Q = %v, want 0", q)
+	}
+}
+
+// TestWeightedModularitySingletonFallback: vertices missing from the map
+// count as singletons — the same value as listing them explicitly.
+func TestWeightedModularitySingletonFallback(t *testing.T) {
+	g := NewCIGraph()
+	g.AddEdgeWeight(1, 2, 5) // one weight-5 edge, split apart
+	implicit := WeightedModularity(g, map[VertexID]int{})
+	explicit := WeightedModularity(g, map[VertexID]int{1: 0, 2: 1})
+	// Q = 0 − (5/10)² − (5/10)² = −1/2 either way.
+	if implicit != explicit || implicit != -0.5 {
+		t.Fatalf("implicit %v explicit %v, want -0.5", implicit, explicit)
+	}
+}
+
+// TestWeightedModularityEmpty: an edgeless view reports 0.
+func TestWeightedModularityEmpty(t *testing.T) {
+	if q := WeightedModularity(NewCIGraph(), nil); q != 0 {
+		t.Fatalf("empty Q = %v", q)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"coordbot/internal/community"
 	"coordbot/internal/graph"
 	"coordbot/internal/hypergraph"
 	"coordbot/internal/projection"
@@ -58,6 +59,16 @@ type Config struct {
 	Sharded bool
 	// SkipHypergraph skips Step 3 (for projection/survey-only studies).
 	SkipHypergraph bool
+	// Communities enables the clustering stage: after the survey, the
+	// thresholded CI graph is partitioned (Leiden or Label Propagation
+	// per Community.Algorithm) and each community scored with the
+	// generalized coordination metrics — the layer between the triangle
+	// census and the operator. Off by default: triangle-only studies pay
+	// nothing.
+	Communities bool
+	// Community parameterizes the clustering stage (zero value = Leiden,
+	// resolution 1.0, min size 3, seed 1).
+	Community community.Config
 }
 
 // TriangleResult pairs one triangle's CI-graph metrics with its hypergraph
@@ -77,6 +88,7 @@ type Timings struct {
 	Survey    time.Duration
 	Validate  time.Duration
 	Component time.Duration
+	Cluster   time.Duration
 }
 
 // Result is the output of a Run.
@@ -97,7 +109,14 @@ type Result struct {
 	// HyperCacheHits counts Step-3 evaluations served from the caller's
 	// cross-cycle cache (RunOnTriangles only; 0 elsewhere).
 	HyperCacheHits int
-	Timings        Timings
+	// Partition is the community assignment of the thresholded graph
+	// (nil unless Config.Communities). The daemon fills these two fields
+	// itself when it warm-starts clustering from a cached partition.
+	Partition *community.Partition
+	// Communities are the scored communities (>= Community.MinSize
+	// members), ordered by coordination score descending.
+	Communities []community.CommunityScore
+	Timings     Timings
 }
 
 // Run executes the three-step pipeline on b.
@@ -242,7 +261,23 @@ func RunOnTriangles(ci, thresholded graph.CIView, tris []tripoll.Triangle, b *gr
 	res.Thresholded = thresholded
 	res.Components = graph.ConnectedComponents(res.Thresholded)
 	res.Timings.Component = time.Since(t0)
+	cluster(res, b, cfg, tris)
 	return res, nil
+}
+
+// cluster runs the optional community stage: a cold Detect over the
+// thresholded view, scored against the hypergraph and the surviving
+// census. The daemon skips this (Communities false) and warm-starts its
+// own clustering from the cached partition, filling the same fields.
+func cluster(res *Result, b *graph.BTM, cfg Config, tris []tripoll.Triangle) {
+	if !cfg.Communities {
+		return
+	}
+	t0 := time.Now()
+	ccfg := cfg.Community.Defaults()
+	res.Partition = community.Detect(res.Thresholded, ccfg)
+	res.Communities = community.ScoreCommunities(res.Partition, res.Thresholded, b, tris, ccfg.MinSize)
+	res.Timings.Cluster = time.Since(t0)
 }
 
 // finish runs Steps 2–4 (survey, validation, components) on res.CI.
@@ -307,6 +342,12 @@ func finish(res *Result, b *graph.BTM, cfg Config) {
 	res.Thresholded = thresholded
 	res.Components = graph.ConnectedComponents(res.Thresholded)
 	res.Timings.Component = time.Since(t0)
+
+	kept := make([]tripoll.Triangle, len(res.Triangles))
+	for i := range res.Triangles {
+		kept[i] = res.Triangles[i].Triangle
+	}
+	cluster(res, b, cfg, kept)
 }
 
 // FlaggedAuthors returns the union of authors appearing in surviving

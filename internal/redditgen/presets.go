@@ -198,3 +198,57 @@ func Tiny(seed int64) Config {
 		AutoModerator: true,
 	}
 }
+
+// LargeCampaign is the community-layer validation corpus: four planted
+// campaigns spanning the 20–200-account range the triangle layer cannot
+// see whole, plus the benign book-club cohort as the confuser. Each
+// campaign is a GPT2Ring over its own pages — random SubsetSize-member
+// casts with offsets inside one 60s projection window — so every member
+// pair co-occurs on an expected Pages·(k/n)·((k−1)/(n−1)) pages, tuned
+// here to land comfortably above the paper's cutoff-25 band. Campaigns
+// share no pages, so each is its own CI component with a known member
+// set: Dataset.Truth is the clustering ground truth, Dataset.Benign the
+// cohort that must stay below the coordination-score threshold. scale
+// multiplies only the organic background; the campaigns are the target.
+func LargeCampaign(scale float64) Config {
+	if scale <= 0 {
+		scale = 1
+	}
+	const start int64 = 1580515200 // 2020-02-01 00:00:00 UTC
+	campaign := func(name string, bots, cast, pages int) BotnetSpec {
+		return BotnetSpec{
+			Kind: GPT2Ring, Name: name,
+			Bots: bots, Pages: pages, SubsetSize: cast,
+			// All cast offsets fall within half a projection window, so
+			// every cast pair co-occurs on the page.
+			MinDelay: 0, MaxDelay: 30,
+		}
+	}
+	return Config{
+		Seed:  20260201,
+		Start: start,
+		End:   start + 14*24*3600,
+		Organic: OrganicConfig{
+			Authors:         scaleInt(8000, scale),
+			Pages:           scaleInt(6000, scale),
+			Comments:        scaleInt(120000, scale),
+			AuthorZipfS:     1.2,
+			PageZipfS:       1.15,
+			PageHalfLife:    4 * 3600,
+			DeletedFraction: 0.02,
+		},
+		Botnets: []BotnetSpec{
+			// Expected pair weights: 300·(12/20)(11/19) ≈ 104,
+			// 700·(18/60)(17/59) ≈ 60, 1200·(24/120)(23/119) ≈ 46,
+			// 1800·(30/200)(29/199) ≈ 39.
+			campaign("campaign_s", 20, 12, 300),
+			campaign("campaign_m", 60, 18, 700),
+			campaign("campaign_l", 120, 24, 1200),
+			campaign("campaign_xl", 200, 30, 1800),
+		},
+		Cohorts: []CohortSpec{{
+			Name: "bookclub", Users: 16, Pages: 80,
+		}},
+		AutoModerator: true,
+	}
+}

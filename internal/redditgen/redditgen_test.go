@@ -222,3 +222,59 @@ func TestBotnetKindString(t *testing.T) {
 		t.Fatal("unknown kind must still render")
 	}
 }
+
+// TestLargeCampaignGroundTruth: the community-layer corpus plants four
+// disjoint campaigns of the advertised sizes plus the benign cohort, and
+// campaign pair weights land above the cutoff-25 band while cohort pairs
+// stay invisible to the 60s projection.
+func TestLargeCampaignGroundTruth(t *testing.T) {
+	cfg := LargeCampaign(0.1) // small organic background for test speed
+	d := Generate(cfg)
+	wantSizes := map[string]int{
+		"campaign_s": 20, "campaign_m": 60, "campaign_l": 120, "campaign_xl": 200,
+	}
+	if len(d.Truth) != len(wantSizes) {
+		t.Fatalf("Truth has %d networks, want %d", len(d.Truth), len(wantSizes))
+	}
+	seen := make(map[graph.VertexID]string)
+	for name, want := range wantSizes {
+		members := d.Truth[name]
+		if len(members) != want {
+			t.Errorf("campaign %s has %d members, want %d", name, len(members), want)
+		}
+		for _, m := range members {
+			if other, dup := seen[m]; dup {
+				t.Fatalf("author %d in both %s and %s", m, other, name)
+			}
+			seen[m] = name
+		}
+	}
+	if got := len(d.Benign["bookclub"]); got != 16 {
+		t.Fatalf("bookclub cohort has %d members, want 16", got)
+	}
+
+	ci, err := projection.ProjectSequential(d.BTM(), projection.Window{Min: 0, Max: 60},
+		projection.Options{Exclude: d.Helpers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampled campaign core pairs clear the paper's cutoff.
+	s := d.Truth["campaign_s"]
+	if w := ci.Weight(s[0], s[1]); w < 25 {
+		t.Errorf("campaign_s pair weight %d, want >= 25", w)
+	}
+	xl := d.Truth["campaign_xl"]
+	if w := ci.Weight(xl[0], xl[1]); w < 25 {
+		t.Errorf("campaign_xl pair weight %d, want >= 25", w)
+	}
+	// The cohort is spatially tight but temporally innocent: no pair
+	// should survive anywhere near the cutoff.
+	bc := d.Benign["bookclub"]
+	for i := 0; i < len(bc); i++ {
+		for j := i + 1; j < len(bc); j++ {
+			if w := ci.Weight(bc[i], bc[j]); w >= 25 {
+				t.Fatalf("cohort pair (%d,%d) weight %d crosses the cutoff", bc[i], bc[j], w)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package stats
+
+import "math"
+
+// Partition-similarity metrics — how well a recovered community structure
+// matches redditgen's planted ground truth. Both take parallel label
+// slices: labels[i] and truth[i] are the two partitions' assignments of
+// item i. Label values are arbitrary; only the induced groupings matter.
+
+// contingency builds the joint count table and the two marginals.
+func contingency(a, b []int) (joint map[[2]int]float64, ma, mb map[int]float64, n float64) {
+	if len(a) != len(b) {
+		panic("stats: length mismatch")
+	}
+	joint = make(map[[2]int]float64)
+	ma = make(map[int]float64)
+	mb = make(map[int]float64)
+	for i := range a {
+		joint[[2]int{a[i], b[i]}]++
+		ma[a[i]]++
+		mb[b[i]]++
+	}
+	return joint, ma, mb, float64(len(a))
+}
+
+// NMI returns the normalized mutual information of the two labelings,
+// 2·I(A;B)/(H(A)+H(B)) ∈ [0, 1]. By convention it returns 1 when both
+// partitions carry no information (H(A)+H(B) = 0: each is a single
+// cluster — the partitions are trivially identical), and NaN for empty
+// input.
+func NMI(a, b []int) float64 {
+	joint, ma, mb, n := contingency(a, b)
+	if n == 0 {
+		return math.NaN()
+	}
+	entropy := func(m map[int]float64) float64 {
+		h := 0.0
+		for _, c := range m {
+			p := c / n
+			h -= p * math.Log(p)
+		}
+		return h
+	}
+	ha, hb := entropy(ma), entropy(mb)
+	if ha+hb == 0 {
+		return 1
+	}
+	mi := 0.0
+	for k, c := range joint {
+		pxy := c / n
+		px, py := ma[k[0]]/n, mb[k[1]]/n
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	return 2 * mi / (ha + hb)
+}
+
+// ARI returns the adjusted Rand index of the two labelings: the Rand
+// index corrected for chance, 1 for identical partitions, ~0 for random
+// agreement (can go negative). Returns 1 when the correction denominator
+// is 0 (both partitions trivial in the same way), NaN for empty input.
+func ARI(a, b []int) float64 {
+	joint, ma, mb, n := contingency(a, b)
+	if n == 0 {
+		return math.NaN()
+	}
+	choose2 := func(x float64) float64 { return x * (x - 1) / 2 }
+	var sumJoint, sumA, sumB float64
+	for _, c := range joint {
+		sumJoint += choose2(c)
+	}
+	for _, c := range ma {
+		sumA += choose2(c)
+	}
+	for _, c := range mb {
+		sumB += choose2(c)
+	}
+	expected := sumA * sumB / choose2(n)
+	maxIndex := (sumA + sumB) / 2
+	if maxIndex == expected {
+		return 1
+	}
+	return (sumJoint - expected) / (maxIndex - expected)
+}

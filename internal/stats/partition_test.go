@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNMIIdentical(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	// A relabeling of a is still the same partition.
+	b := []int{7, 7, 3, 3, 9, 9}
+	if got := NMI(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI of identical partitions = %v, want 1", got)
+	}
+	if got := ARI(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ARI of identical partitions = %v, want 1", got)
+	}
+}
+
+func TestNMIIndependent(t *testing.T) {
+	// b splits each a-cluster exactly in half and vice versa → the joint
+	// distribution is the product of marginals → MI = 0.
+	a := []int{0, 0, 1, 1}
+	b := []int{0, 1, 0, 1}
+	if got := NMI(a, b); math.Abs(got) > 1e-12 {
+		t.Fatalf("NMI of independent partitions = %v, want 0", got)
+	}
+}
+
+// TestNMIHandComputed pins a worked example: a = {0,0,1,1}, b = {0,0,0,1}.
+// H(A) = ln 2, H(B) = −(3/4)ln(3/4) − (1/4)ln(1/4),
+// I = (1/2)ln(4/3) + (1/4)ln(1/3·4) + (1/4)ln(4/1) … computed below.
+func TestNMIHandComputed(t *testing.T) {
+	a := []int{0, 0, 1, 1}
+	b := []int{0, 0, 0, 1}
+	ha := math.Log(2)
+	hb := -(0.75*math.Log(0.75) + 0.25*math.Log(0.25))
+	// joint: (0,0)=1/2, (1,0)=1/4, (1,1)=1/4
+	mi := 0.5*math.Log(0.5/(0.5*0.75)) +
+		0.25*math.Log(0.25/(0.5*0.75)) +
+		0.25*math.Log(0.25/(0.5*0.25))
+	want := 2 * mi / (ha + hb)
+	if got := NMI(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("NMI = %v, want %v", got, want)
+	}
+}
+
+// TestARIHandComputed pins the standard example a = {0,0,0,1,1,1},
+// b = {0,0,1,1,2,2}: Σij C(nij,2) = 1+1 = 2, Σ C(ai,2) = 3+3 = 6,
+// Σ C(bj,2) = 1+1+1 = 3, C(6,2) = 15 → ARI = (2 − 6·3/15)/(4.5 − 6·3/15).
+func TestARIHandComputed(t *testing.T) {
+	a := []int{0, 0, 0, 1, 1, 1}
+	b := []int{0, 0, 1, 1, 2, 2}
+	want := (2.0 - 6.0*3.0/15.0) / (4.5 - 6.0*3.0/15.0)
+	if got := ARI(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ARI = %v, want %v", got, want)
+	}
+}
+
+func TestPartitionTrivialAndEmpty(t *testing.T) {
+	one := []int{5, 5, 5}
+	if got := NMI(one, one); got != 1 {
+		t.Fatalf("NMI of single-cluster partitions = %v, want 1", got)
+	}
+	if got := ARI(one, one); got != 1 {
+		t.Fatalf("ARI of single-cluster partitions = %v, want 1", got)
+	}
+	if got := NMI(nil, nil); !math.IsNaN(got) {
+		t.Fatalf("NMI(nil) = %v, want NaN", got)
+	}
+	if got := ARI(nil, nil); !math.IsNaN(got) {
+		t.Fatalf("ARI(nil) = %v, want NaN", got)
+	}
+}
+
+func TestPartitionLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	NMI([]int{1}, []int{1, 2})
+}
