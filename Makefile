@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check vet test test-race bench bench-adjacency bench-community fuzz experiments examples clean
+.PHONY: all build check vet test test-race bench bench-adjacency bench-community bench-signals fuzz experiments examples clean
 
 all: build check
 
@@ -52,6 +52,12 @@ bench-adjacency:
 # dirty (several minutes on the 80k-author corpus).
 bench-community:
 	BENCH_COMMUNITY_OUT=BENCH_community.json $(GO) test -run TestWriteCommunityBench -v -timeout 60m .
+
+# Multi-signal vs single-signal ingest and projection throughput on the
+# multi-signal campaign corpus; writes the JSON report and enforces the
+# <=2x-per-added-signal throughput bar on both paths.
+bench-signals:
+	BENCH_SIGNALS_OUT=BENCH_signals.json $(GO) test -run TestWriteSignalsBench -v -timeout 60m .
 
 # Full-scale reproduction of every paper artifact (~10 min).
 experiments:

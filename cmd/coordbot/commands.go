@@ -50,8 +50,8 @@ func windowFlag(fs *flag.FlagSet) (min, max *int64) {
 
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
-	preset := fs.String("preset", "tiny", "dataset preset: tiny|dense|jan2020|oct2016")
-	scale := fs.Float64("scale", 1.0, "organic corpus scale (jan2020/oct2016)")
+	preset := fs.String("preset", "tiny", "dataset preset: tiny|dense|jan2020|oct2016|multisignal")
+	scale := fs.Float64("scale", 1.0, "organic corpus scale (jan2020/oct2016/multisignal)")
 	seed := fs.Int64("seed", 42, "seed (tiny/dense)")
 	out := fs.String("out", "data.ndjson.gz", "output NDJSON file (.gz = compressed)")
 	truthOut := fs.String("truth", "", "optional ground-truth TSV output")
@@ -67,6 +67,8 @@ func cmdGen(args []string) error {
 		cfg = redditgen.Jan2020(*scale)
 	case "oct2016":
 		cfg = redditgen.Oct2016(*scale)
+	case "multisignal":
+		cfg = redditgen.MultiSignalCampaign(*scale)
 	default:
 		return fmt.Errorf("unknown preset %q", *preset)
 	}
@@ -109,6 +111,7 @@ func cmdProject(args []string) error {
 	out := fs.String("out", "", "output edge TSV (default stdout)")
 	ranks := fs.Int("ranks", 0, "ygm parallelism (0 = auto)")
 	transport := fs.String("transport", "memory", "rank transport: memory (goroutine ranks), sharded (owner-computes merge into the lock-striped store), or tcp (loopback cluster, serialized messages)")
+	signals := fs.String("signals", "", "comma-separated coordination signals, each optionally with a window override (e.g. cocomment,urlshare=0:300,reply); empty = co-comment only")
 	minW, maxW := windowFlag(fs)
 	fs.Parse(args)
 
@@ -118,6 +121,17 @@ func cmdProject(args []string) error {
 	}
 	window := projection.Window{Min: *minW, Max: *maxW}
 	opts := projection.Options{Exclude: ex, Ranks: *ranks}
+	if *signals != "" {
+		sigs, err := projection.ParseSignals(*signals, window)
+		if err != nil {
+			return err
+		}
+		g, err := projection.ProjectSignalsSharded(c.Comments, sigs, opts)
+		if err != nil {
+			return err
+		}
+		return writeEdges(*out, c, g, *minW, *maxW)
+	}
 	var g graph.CIView
 	switch *transport {
 	case "memory":
@@ -142,11 +156,16 @@ func cmdProject(args []string) error {
 	if err != nil {
 		return err
 	}
+	return writeEdges(*out, c, g, *minW, *maxW)
+}
+
+// writeEdges emits a projected CI graph as an edge TSV (default stdout).
+func writeEdges(out string, c *pushshift.Corpus, g graph.CIView, minW, maxW int64) error {
 	var w *bufio.Writer
-	if *out == "" {
+	if out == "" {
 		w = bufio.NewWriter(os.Stdout)
 	} else {
-		f, err := os.Create(*out)
+		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
@@ -154,7 +173,7 @@ func cmdProject(args []string) error {
 		w = bufio.NewWriter(f)
 	}
 	fmt.Fprintf(w, "# common interaction graph, window [%d,%d): %d edges, %d authors\n",
-		*minW, *maxW, g.NumEdges(), g.NumVertices())
+		minW, maxW, g.NumEdges(), g.NumVertices())
 	for _, e := range g.Edges() {
 		fmt.Fprintf(w, "%s\t%s\t%d\n", c.Authors.Name(e.U), c.Authors.Name(e.V), e.W)
 	}

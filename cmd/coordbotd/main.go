@@ -34,6 +34,7 @@ import (
 	"coordbot/internal/detectd"
 	"coordbot/internal/graph"
 	"coordbot/internal/projection"
+	"coordbot/internal/stream"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 	min := fs.Int64("min", 0, "window lower bound δ1 (seconds, inclusive)")
 	max := fs.Int64("max", 60, "window upper bound δ2 (seconds, exclusive)")
 	horizon := fs.Int64("horizon", 24*3600, "trailing event-time horizon (seconds)")
+	signals := fs.String("signals", "", "comma-separated coordination signals (cocomment, urlshare, hashtag, reply, timebucket), each optionally with a window override like urlshare=0:300 or reply=120; empty = co-comment only over [-min,-max)")
 	interval := fs.Duration("interval", 30*time.Second, "survey cadence (0 disables the loop)")
 	cut := fs.Uint("cut", 25, "min triangle edge weight")
 	tscore := fs.Float64("tscore", 0, "min T score for flagged triplets")
@@ -85,8 +87,20 @@ func main() {
 		}
 		exclIDs = append(exclIDs, graph.VertexID(id))
 	}
+	var sigConfigs []stream.SignalConfig
+	if *signals != "" {
+		sigs, err := projection.ParseSignals(*signals, projection.Window{Min: *min, Max: *max})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coordbotd: -signals:", err)
+			os.Exit(2)
+		}
+		for _, sg := range sigs {
+			sigConfigs = append(sigConfigs, stream.SignalConfig{Signal: sg})
+		}
+	}
 	s, err := detectd.NewService(detectd.Config{
 		Window:             projection.Window{Min: *min, Max: *max},
+		Signals:            sigConfigs,
 		Horizon:            *horizon,
 		SurveyInterval:     *interval,
 		MinTriangleWeight:  uint32(*cut),

@@ -52,6 +52,15 @@ type Config struct {
 	// Horizon is the trailing event-time span, in seconds, that the CI
 	// graph covers; co-activity older than this decays out.
 	Horizon int64
+	// Signals selects the coordination signals the projector fans the
+	// ingest stream out to, each optionally with its own trailing horizon
+	// (0 = Horizon). Empty means the single default co-comment signal
+	// over Window — bit-identical to a pre-signal daemon. With two or
+	// more signals the live store keeps a per-signal weight breakdown:
+	// /v1/stats reports per-signal counters, and /v1/score and
+	// /v1/communities report the signal mix of each group. The survey,
+	// delta, and community layers run unchanged on the merged totals.
+	Signals []stream.SignalConfig
 	// SurveyInterval is the wall-clock cadence of the background survey
 	// loop. Zero or negative disables the loop; surveys then run only via
 	// SurveyNow (the embedding/test mode).
@@ -245,6 +254,14 @@ type Service struct {
 	cfg     Config
 	authors *interner.Interner
 	pageIDs *interner.Interner
+	// urlIDs / tagIDs intern the signal-attribute object spaces (URLs,
+	// hashtags) independently of pages. Allocated lazily-cheap even when
+	// no signal reads them.
+	urlIDs *interner.Interner
+	tagIDs *interner.Interner
+	// signalNames caches the projector's signal order for stats and mix
+	// labelling (immutable after NewService).
+	signalNames []string
 
 	mu   sync.Mutex // guards proj, log, and logDirty
 	proj *stream.SlidingProjector
@@ -311,20 +328,33 @@ func NewService(cfg Config) (*Service, error) {
 	for _, id := range cfg.ExcludeIDs {
 		exclude[id] = true
 	}
-	proj, err := stream.NewSlidingProjectorShards(cfg.Window, cfg.Horizon,
-		projection.Options{Exclude: exclude}, cfg.Shards)
+	opts := projection.Options{Exclude: exclude}
+	var proj *stream.SlidingProjector
+	var err error
+	if len(cfg.Signals) > 0 {
+		proj, err = stream.NewMultiSlidingProjector(cfg.Signals, cfg.Horizon, opts, cfg.Shards)
+	} else {
+		proj, err = stream.NewSlidingProjectorShards(cfg.Window, cfg.Horizon, opts, cfg.Shards)
+	}
 	if err != nil {
 		return nil, err
 	}
+	var names []string
+	for _, sg := range proj.Signals() {
+		names = append(names, sg.Name())
+	}
 	return &Service{
-		cfg:     cfg,
-		authors: authors,
-		pageIDs: interner.New(1 << 12),
-		proj:    proj,
-		queue:   make(chan []graph.Comment, cfg.QueueSize),
-		metrics: newMetrics(),
-		quit:    make(chan struct{}),
-		started: time.Now(),
+		cfg:         cfg,
+		authors:     authors,
+		pageIDs:     interner.New(1 << 12),
+		urlIDs:      interner.New(1 << 8),
+		tagIDs:      interner.New(1 << 8),
+		signalNames: names,
+		proj:        proj,
+		queue:       make(chan []graph.Comment, cfg.QueueSize),
+		metrics:     newMetrics(),
+		quit:        make(chan struct{}),
+		started:     time.Now(),
 	}, nil
 }
 
@@ -772,6 +802,7 @@ type liveStats struct {
 	liveEdges    int
 	buffered     int
 	logged       int
+	signals      []stream.SignalStat
 }
 
 func (s *Service) liveStats() liveStats {
@@ -784,7 +815,52 @@ func (s *Service) liveStats() liveStats {
 		liveEdges:    s.proj.NumEdges(),
 		buffered:     s.proj.BufferedComments(),
 		logged:       len(s.log) - s.logStart,
+		signals:      s.proj.SignalStats(),
 	}
+}
+
+// SignalNames returns the configured signals' names in breakdown order
+// (always at least the default co-comment signal).
+func (s *Service) SignalNames() []string { return s.signalNames }
+
+// signalMix labels a per-signal weight vector with the signal names,
+// dropping zero entries; nil in (single-signal stores) is nil out.
+func (s *Service) signalMix(mix []uint64) map[string]uint64 {
+	if mix == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(mix))
+	for si, w := range mix {
+		if w > 0 && si < len(s.signalNames) {
+			out[s.signalNames[si]] = w
+		}
+	}
+	return out
+}
+
+// PairSignalMix sums the live per-signal breakdown over every unordered
+// pair of the group — nil on single-signal stores. Same locking story as
+// PairScore: per-shard read locks only, individually consistent reads.
+func (s *Service) PairSignalMix(ids []graph.VertexID) []uint64 {
+	var out []uint64
+	for i := range ids {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[i] == ids[j] {
+				continue
+			}
+			ws := s.proj.SignalWeights(ids[i], ids[j])
+			if ws == nil {
+				return nil
+			}
+			if out == nil {
+				out = make([]uint64, len(ws))
+			}
+			for si, w := range ws {
+				out[si] += uint64(w)
+			}
+		}
+	}
+	return out
 }
 
 // PairScore reads live pairwise state for the score endpoint: CI weight

@@ -1,9 +1,12 @@
 // HTTP/JSON API of the daemon:
 //
 //	POST /v1/ingest     — body: JSON array (or NDJSON stream) of
-//	                      {"author":"x","page":"p","ts":1577836800}.
-//	                      202 {"accepted":n}; 429 when the queue is full;
-//	                      503 while shutting down.
+//	                      {"author":"x","page":"p","ts":1577836800}, each
+//	                      optionally carrying "urls", "tags" and
+//	                      "reply_to" signal attributes (used by the
+//	                      urlshare / hashtag / reply signals, dropped on a
+//	                      co-comment-only daemon). 202 {"accepted":n}; 429
+//	                      when the queue is full; 503 while shutting down.
 //	GET  /v1/triangles  — latest survey cycle. ?min_t=0.5 filters on the
 //	                      T score, ?limit=50 truncates.
 //	GET  /v1/score      — ?users=a,b,...: live P' counts for up to 512
@@ -43,11 +46,16 @@ import (
 // maxIngestBody bounds one ingest request (64 MiB of JSON).
 const maxIngestBody = 64 << 20
 
-// CommentIn is the wire form of one comment.
+// CommentIn is the wire form of one comment. URLs, Tags, and ReplyTo are
+// optional signal attributes; they only matter when the daemon runs with
+// the matching non-default signals and are dropped otherwise.
 type CommentIn struct {
-	Author string `json:"author"`
-	Page   string `json:"page"`
-	TS     int64  `json:"ts"`
+	Author  string   `json:"author"`
+	Page    string   `json:"page"`
+	TS      int64    `json:"ts"`
+	URLs    []string `json:"urls,omitempty"`
+	Tags    []string `json:"tags,omitempty"`
+	ReplyTo string   `json:"reply_to,omitempty"`
 }
 
 // TriangleOut is the wire form of one surveyed triangle.
@@ -119,8 +127,23 @@ type StatsOut struct {
 	LastCommunities     int64 `json:"last_communities"`
 	ComponentsReused    int64 `json:"components_reused"`
 	ComponentsClustered int64 `json:"components_clustered"`
+	// Signals breaks the live gauges down per coordination signal (always
+	// at least the default co-comment signal).
+	Signals []SignalStatsOut `json:"signals"`
 
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// SignalStatsOut is one signal's block of the stats response.
+type SignalStatsOut struct {
+	Name         string `json:"name"`
+	WindowMin    int64  `json:"window_min_sec"`
+	WindowMax    int64  `json:"window_max_sec"`
+	HorizonSec   int64  `json:"horizon_sec"`
+	Weight       uint32 `json:"weight"`
+	LivePairs    int64  `json:"live_pairs"`
+	EvictedPairs int64  `json:"evicted_pairs"`
+	LiveObjects  int    `json:"live_objects"`
 }
 
 // Handler returns the daemon's HTTP API.
@@ -169,6 +192,22 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Author: s.authors.Intern(c.Author),
 			Page:   s.pageIDs.Intern(c.Page),
 			TS:     c.TS,
+		}
+		if len(c.URLs) > 0 || len(c.Tags) > 0 || c.ReplyTo != "" {
+			attrs := &graph.CommentAttrs{}
+			for _, u := range c.URLs {
+				attrs.URLs = append(attrs.URLs, s.urlIDs.Intern(u))
+			}
+			for _, tg := range c.Tags {
+				attrs.Tags = append(attrs.Tags, s.tagIDs.Intern(tg))
+			}
+			if c.ReplyTo != "" {
+				// Reply targets share the author ID space so reply objects
+				// stay meaningful across comments by the same target.
+				attrs.ReplyTo = s.authors.Intern(c.ReplyTo)
+				attrs.IsReply = true
+			}
+			interned[i].Attrs = attrs
 		}
 	}
 	switch err := s.Enqueue(interned); {
@@ -243,6 +282,18 @@ func decodeObjectFields(dec *json.Decoder, c *CommentIn) error {
 			}
 		case "ts":
 			if err := dec.Decode(&c.TS); err != nil {
+				return err
+			}
+		case "urls":
+			if err := dec.Decode(&c.URLs); err != nil {
+				return err
+			}
+		case "tags":
+			if err := dec.Decode(&c.Tags); err != nil {
+				return err
+			}
+		case "reply_to":
+			if err := dec.Decode(&c.ReplyTo); err != nil {
 				return err
 			}
 		default:
@@ -370,6 +421,10 @@ type ScoreOut struct {
 	// against the latest survey's windowed comment log. Present only when
 	// the daemon validates hypergraphs and a survey has completed.
 	Group *GroupOut `json:"group,omitempty"`
+	// Signals attributes the group's summed pairwise CI weight to the
+	// coordination signals that produced it. Present only on multi-signal
+	// daemons, and only for groups small enough for the pair matrix.
+	Signals map[string]uint64 `json:"signals,omitempty"`
 }
 
 // GroupOut is the group-metric block of a score response.
@@ -453,6 +508,7 @@ func (s *Service) handleScore(w http.ResponseWriter, r *http.Request) {
 			}
 			out.MinWeight, out.T, out.Source = &minW, &t, "live"
 		}
+		out.Signals = s.signalMix(s.PairSignalMix(ids))
 	} else {
 		// Too many users for the quadratic pair matrix: page counts only.
 		for i, n := range names {
@@ -543,6 +599,11 @@ type CommunityOut struct {
 	WS             int     `json:"w_s"`
 	CS             float64 `json:"c_s"`
 	Triangles      int     `json:"triangles"`
+	// Signals attributes the community's internal CI weight (as of the
+	// survey snapshot) to the coordination signals that produced it.
+	// Present only on multi-signal daemons, for communities small enough
+	// for the quadratic member-pair scan.
+	Signals map[string]uint64 `json:"signals,omitempty"`
 }
 
 // CommunitiesOut is the /v1/communities response.
@@ -627,6 +688,9 @@ func (s *Service) handleCommunities(w http.ResponseWriter, r *http.Request) {
 			CS:             cs.CS,
 			Triangles:      cs.Triangles,
 		}
+		if sr.snap.NumSignals() >= 2 && len(cs.Members) <= scorePairUsers {
+			co.Signals = s.signalMix(sr.snap.SignalMix(cs.Members))
+		}
 		if withMembers {
 			co.Members = make([]string, len(cs.Members))
 			for i, m := range cs.Members {
@@ -684,6 +748,18 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		ComponentsClustered: s.componentsClustered.Load(),
 
 		Endpoints: s.metrics.snapshot(),
+	}
+	for _, sg := range live.signals {
+		out.Signals = append(out.Signals, SignalStatsOut{
+			Name:         sg.Name,
+			WindowMin:    sg.Window.Min,
+			WindowMax:    sg.Window.Max,
+			HorizonSec:   sg.Horizon,
+			Weight:       sg.Weight,
+			LivePairs:    sg.LivePairs,
+			EvictedPairs: sg.EvictedPairs,
+			LiveObjects:  sg.LiveObjects,
+		})
 	}
 	if sr := s.Latest(); sr != nil {
 		out.LastTriangles = len(sr.Result.Triangles)

@@ -72,6 +72,8 @@ func (l *Lab) Dataset(name string) *redditgen.Dataset {
 		cfg = redditgen.Oct2016(l.Scale)
 	case "largecampaign":
 		cfg = redditgen.LargeCampaign(l.Scale)
+	case "multisignal":
+		cfg = redditgen.MultiSignalCampaign(l.Scale)
 	default:
 		panic(fmt.Sprintf("experiments: unknown dataset %q", name))
 	}
@@ -163,7 +165,7 @@ func (r *Report) WriteText(w io.Writer) error {
 // IDs lists all experiment identifiers in run order.
 func IDs() []string {
 	return []string{"f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10",
-		"s1", "s3", "s4", "x1", "x2", "x4", "x5", "x6", "x7"}
+		"s1", "s3", "s4", "x1", "x2", "x4", "x5", "x6", "x7", "x8"}
 }
 
 // Describe returns a one-line description of an experiment ID without
@@ -189,6 +191,7 @@ func Describe(id string) string {
 		"x5":  "Behaviour classification from delay profiles",
 		"x6":  "Sockpuppet chains and window targeting",
 		"x7":  "Community recovery: Leiden vs planted 20-200 account campaigns",
+		"x8":  "Multi-signal campaign recovery with per-signal attribution",
 	}
 	return desc[id]
 }
@@ -248,6 +251,8 @@ func (l *Lab) Figure(id string) (*Report, error) {
 		return l.X6()
 	case "x7":
 		return l.X7()
+	case "x8":
+		return l.X8()
 	default:
 		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", id, IDs())
 	}

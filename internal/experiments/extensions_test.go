@@ -59,6 +59,45 @@ func TestX4PipelineIgnoresCohortBaselineDoesNot(t *testing.T) {
 	}
 }
 
+func TestX8EachCampaignRecoveredThroughItsSignal(t *testing.T) {
+	lab := newTestLab(t)
+	r, err := lab.Figure("x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Measured, "\n")
+	for _, campaign := range []string{"urlring", "tagburst", "dogpile"} {
+		line := ""
+		for _, m := range r.Measured {
+			if strings.HasPrefix(m, campaign) {
+				line = m
+				break
+			}
+		}
+		if line == "" {
+			t.Fatalf("no X8 line for %s:\n%s", campaign, joined)
+		}
+		if !strings.HasSuffix(line, "✓") {
+			t.Fatalf("%s not recovered through its dominant signal:\n%s", campaign, joined)
+		}
+	}
+	var maxW, cut int
+	found := false
+	for _, m := range r.Measured {
+		if n, _ := fmt.Sscanf(m, "benign linkclub: max pairwise weight %d (cutoff %d)",
+			&maxW, &cut); n == 2 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("could not parse X8 cohort line: %v", r.Measured)
+	}
+	if maxW >= cut {
+		t.Fatalf("benign linkclub reached weight %d (cutoff %d):\n%s", maxW, cut, joined)
+	}
+}
+
 func TestX7LeidenRecoversPlantedCampaigns(t *testing.T) {
 	lab := newTestLab(t)
 	r, err := lab.Figure("x7")

@@ -18,10 +18,34 @@ type VertexID = uint32
 // Comment is one edge of the bipartite temporal multigraph: author u
 // commented on page p at unix time TS. Multi-edges (same author, same page,
 // different times) are expected and meaningful.
+//
+// Attrs optionally carries the comment's coordination-signal payload
+// (shared URLs, hashtags, reply target). It is nil for the plain
+// co-comment workload, so existing code paths and literals are
+// unaffected; only signal-aware projectors look at it. The BTM itself
+// indexes pages only — Comments() and FilterAuthors drop attrs, which is
+// fine because every non-page signal is projected straight from the
+// comment stream, never from the BTM.
 type Comment struct {
 	Author VertexID
 	Page   VertexID
 	TS     int64
+	Attrs  *CommentAttrs
+}
+
+// CommentAttrs is the optional per-comment payload the non-default
+// coordination signals extract their objects from. IDs live in
+// per-kind interner spaces (URL IDs and tag IDs are independent of page
+// IDs; ReplyTo is an author ID).
+type CommentAttrs struct {
+	// URLs the comment shared (deduplicated by signal extractors).
+	URLs []VertexID
+	// Tags are the hashtags the comment used.
+	Tags []VertexID
+	// ReplyTo is the author being replied to; meaningful only when
+	// IsReply is set (author ID 0 is a valid target).
+	ReplyTo VertexID
+	IsReply bool
 }
 
 // AuthorTime is a (author, timestamp) entry in a page's neighborhood.

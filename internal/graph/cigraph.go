@@ -36,6 +36,14 @@ type WeightedEdge struct {
 type CIGraph struct {
 	edges      map[uint64]uint32
 	pageCounts map[VertexID]uint32
+
+	// sig, when non-nil, holds the per-signal breakdown of every edge
+	// weight: sig[si][key] is signal si's share of edges[key]. The
+	// breakdown is attribution metadata behind the CIView — edges stays
+	// the single source of truth for weights, and Equal/Threshold/Merge
+	// compare and act on totals only. Allocated by NewCIGraphSignals;
+	// nil (zero cost) for single-signal graphs.
+	sig []map[uint64]uint32
 }
 
 // NewCIGraph returns an empty CI graph.
@@ -103,6 +111,16 @@ func (g *CIGraph) Clone() *CIGraph {
 	}
 	for k, v := range g.pageCounts {
 		out.pageCounts[k] = v
+	}
+	if g.sig != nil {
+		out.sig = make([]map[uint64]uint32, len(g.sig))
+		for si, m := range g.sig {
+			cp := make(map[uint64]uint32, len(m))
+			for key, w := range m {
+				cp[key] = w
+			}
+			out.sig[si] = cp
+		}
 	}
 	return out
 }

@@ -90,7 +90,7 @@ func (g *ShardedCI) SubShardDeltaPatches(i int, edges map[uint64]uint32, pages m
 	if len(edges) == 0 && len(pages) == 0 {
 		return out
 	}
-	g.subShardDelta(i, edges, pages, func(key uint64, old, new uint32) {
+	g.subShardDelta(i, edges, nil, pages, func(key uint64, old, new uint32) {
 		u, v := UnpackEdge(key)
 		out = append(out, EdgePatch{U: u, V: v, Old: old, New: new})
 	})

@@ -57,6 +57,13 @@ type ciShard struct {
 	mu    sync.RWMutex
 	edges map[uint64]uint32
 	pages map[VertexID]uint32
+	// sig, when non-nil, is this shard's per-signal breakdown of edges:
+	// sig[si][key] is signal si's share of edges[key]. Attribution
+	// metadata only — edges stays the source of truth for weights, and
+	// the breakdown follows the same COW discipline (own clones it, so a
+	// snapshot's maps stay frozen). Allocated by NewShardedCISignals;
+	// nil (zero cost) on single-signal stores.
+	sig []map[uint64]uint32
 	// version counts mutations to this shard (monotonic).
 	version uint64
 	// shared marks the current maps as referenced by a live snapshot; the
@@ -72,6 +79,13 @@ func (sh *ciShard) own() {
 	}
 	sh.edges = maps.Clone(sh.edges)
 	sh.pages = maps.Clone(sh.pages)
+	if sh.sig != nil {
+		sig := make([]map[uint64]uint32, len(sh.sig))
+		for si, m := range sh.sig {
+			sig[si] = maps.Clone(m)
+		}
+		sh.sig = sig
+	}
 	sh.shared = false
 }
 
@@ -82,6 +96,9 @@ func (sh *ciShard) own() {
 type ShardedCI struct {
 	shards []ciShard
 	mask   uint64
+	// numSignals is the per-signal breakdown width (0 = untracked; see
+	// ciShard.sig and NewShardedCISignals).
+	numSignals int
 	// id is the store identity; snapshots carry it so per-shard version
 	// comparisons are only made between snapshots of the same store.
 	id uint64
@@ -234,13 +251,18 @@ func (g *ShardedCI) SubShardDelta(i int, edges map[uint64]uint32, pages map[Vert
 	if len(edges) == 0 && len(pages) == 0 {
 		return
 	}
-	g.subShardDelta(i, edges, pages, nil)
+	g.subShardDelta(i, edges, nil, pages, nil)
 }
 
 // subShardDelta is the SubShardDelta core; record, when non-nil, observes
 // each edge decrement as an old→new weight transition under the shard lock
-// (SubShardDeltaPatches in patches.go).
-func (g *ShardedCI) subShardDelta(i int, edges map[uint64]uint32, pages map[VertexID]uint32, record func(key uint64, old, new uint32)) {
+// (SubShardDeltaPatches in patches.go). sigDec, when non-nil, carries the
+// wave's per-signal share of the edge decrements and is withdrawn from the
+// shard's breakdown maps under the same lock (SubShardDeltaSignals in
+// signals.go); only totals are recorded as patches, so the "each edge at
+// most once per wave" invariant downstream patch consumers rely on holds
+// regardless of how many signals contributed to a decrement.
+func (g *ShardedCI) subShardDelta(i int, edges map[uint64]uint32, sigDec []map[uint64]uint32, pages map[VertexID]uint32, record func(key uint64, old, new uint32)) {
 	sh := &g.shards[i]
 	sh.mu.Lock()
 	sh.own()
@@ -258,6 +280,27 @@ func (g *ShardedCI) subShardDelta(i int, edges map[uint64]uint32, pages map[Vert
 		}
 		if record != nil {
 			record(key, cur, cur-w)
+		}
+	}
+	if sh.sig != nil {
+		for si, dec := range sigDec {
+			if len(dec) == 0 {
+				continue
+			}
+			m := sh.sig[si]
+			for key, w := range dec {
+				cur, ok := m[key]
+				if !ok || cur < w {
+					sh.mu.Unlock()
+					u, v := UnpackEdge(key)
+					panic(fmt.Sprintf("graph: edge {%d,%d} signal %d share underflow (%d - %d)", u, v, si, cur, w))
+				}
+				if cur == w {
+					delete(m, key)
+				} else {
+					m[key] = cur - w
+				}
+			}
 		}
 	}
 	for v, n := range pages {
@@ -299,11 +342,15 @@ func (g *ShardedCI) UpdateShard(i int, fn func(edges map[uint64]uint32, pages ma
 func (g *ShardedCI) Snapshot() *CISnapshot {
 	p := len(g.shards)
 	snap := &CISnapshot{
-		edges:    make([]map[uint64]uint32, p),
-		pages:    make([]map[VertexID]uint32, p),
-		versions: make([]uint64, p),
-		mask:     g.mask,
-		storeID:  g.id,
+		edges:      make([]map[uint64]uint32, p),
+		pages:      make([]map[VertexID]uint32, p),
+		versions:   make([]uint64, p),
+		mask:       g.mask,
+		storeID:    g.id,
+		numSignals: g.numSignals,
+	}
+	if g.numSignals > 0 {
+		snap.sig = make([][]map[uint64]uint32, p)
 	}
 	for i := range g.shards {
 		sh := &g.shards[i]
@@ -311,6 +358,11 @@ func (g *ShardedCI) Snapshot() *CISnapshot {
 		sh.shared = true
 		snap.edges[i] = sh.edges
 		snap.pages[i] = sh.pages
+		if snap.sig != nil {
+			// own() replaces the whole slice along with the maps, so the
+			// snapshot's view of the breakdown freezes with the edges.
+			snap.sig[i] = sh.sig
+		}
 		snap.versions[i] = sh.version
 		sh.mu.Unlock()
 	}
@@ -430,6 +482,11 @@ type CISnapshot struct {
 	// storeID identifies the ShardedCI this snapshot came from; version
 	// vectors are only comparable between snapshots of the same store.
 	storeID uint64
+	// sig/numSignals freeze the store's per-signal breakdown (signals.go).
+	// Threshold products drop the breakdown — attribution reads go to the
+	// raw snapshot, never to pruned views.
+	sig        [][]map[uint64]uint32
+	numSignals int
 }
 
 // NumShards returns the shard count.
@@ -656,7 +713,7 @@ func (s *CISnapshot) ThresholdView(minW uint32) CIView {
 // Materialize copies the snapshot into a map-backed CIGraph (reference
 // form, for tests and interop with map-only callers).
 func (s *CISnapshot) Materialize() *CIGraph {
-	out := NewCIGraph()
+	out := NewCIGraphSignals(s.numSignals)
 	for _, m := range s.edges {
 		for key, w := range m {
 			out.edges[key] = w
@@ -665,6 +722,13 @@ func (s *CISnapshot) Materialize() *CIGraph {
 	for _, m := range s.pages {
 		for v, n := range m {
 			out.pageCounts[v] = n
+		}
+	}
+	for _, shard := range s.sig {
+		for si, m := range shard {
+			for key, w := range m {
+				out.sig[si][key] += w
+			}
 		}
 	}
 	return out

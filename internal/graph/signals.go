@@ -1,0 +1,220 @@
+// Per-signal weight attribution for the multi-signal CI graph.
+//
+// The pluggable-signal projection (internal/projection.Signal) merges
+// several coordination signals — co-commenting, URL co-sharing, hashtag
+// overlap, reply targeting, time-bucket synchrony — into the one weighted
+// CI graph every downstream consumer (tripoll, hypergraph, community)
+// already understands through CIView. The merged totals ARE the graph:
+// thresholds, triangle surveys, and delta diffs all act on them, so the
+// incremental machinery is oblivious to how many signals fed an edge.
+//
+// What this file adds is the breakdown behind that view: a store created
+// with a signal count >= 2 keeps, per shard, one side map per signal
+// holding that signal's share of each edge's total weight. The breakdown
+// is attribution metadata — it rides the same copy-on-write discipline as
+// the edge maps (frozen by Snapshot, cloned by own), is withdrawn in the
+// same eviction waves, and is never consulted by Equal, Threshold, or the
+// snapshot diffs. Single-signal stores allocate nothing and behave
+// bit-identically to the pre-signal code.
+package graph
+
+// NewCIGraphSignals returns an empty map-backed CI graph that tracks a
+// per-signal weight breakdown for n signals. n < 2 disables tracking and
+// is equivalent to NewCIGraph (one signal has nothing to attribute).
+func NewCIGraphSignals(n int) *CIGraph {
+	g := NewCIGraph()
+	if n >= 2 {
+		g.sig = make([]map[uint64]uint32, n)
+		for si := range g.sig {
+			g.sig[si] = make(map[uint64]uint32)
+		}
+	}
+	return g
+}
+
+// NumSignals returns the breakdown width (0 when untracked).
+func (g *CIGraph) NumSignals() int { return len(g.sig) }
+
+// AddEdgeWeightSig adds w to edge {u,v} and attributes it to signal si.
+// On an untracked graph it is exactly AddEdgeWeight.
+func (g *CIGraph) AddEdgeWeightSig(u, v VertexID, w uint32, si int) {
+	key := PackEdge(u, v)
+	g.edges[key] += w
+	if g.sig != nil {
+		g.sig[si][key] += w
+	}
+}
+
+// SignalWeight returns signal si's share of edge {u,v} (0 when untracked
+// or absent).
+func (g *CIGraph) SignalWeight(u, v VertexID, si int) uint32 {
+	if g.sig == nil || u == v {
+		return 0
+	}
+	return g.sig[si][PackEdge(u, v)]
+}
+
+// MergeSignal folds other's edge weights and page counts into g,
+// attributing every merged edge to signal si — the reference construction
+// of a multi-signal graph from independent single-signal projections,
+// which the equivalence tests compare the fused projectors against.
+func (g *CIGraph) MergeSignal(other *CIGraph, si int) {
+	for key, w := range other.edges {
+		g.edges[key] += w
+		if g.sig != nil {
+			g.sig[si][key] += w
+		}
+	}
+	for k, v := range other.pageCounts {
+		g.pageCounts[k] += v
+	}
+}
+
+// --- sharded store ------------------------------------------------------
+
+// NewShardedCISignals is NewShardedCI plus a per-signal weight breakdown
+// kept per shard for numSignals signals; numSignals < 2 disables tracking
+// and is equivalent to NewShardedCI.
+func NewShardedCISignals(n, numSignals int) *ShardedCI {
+	g := NewShardedCI(n)
+	if numSignals >= 2 {
+		g.numSignals = numSignals
+		for i := range g.shards {
+			sh := &g.shards[i]
+			sh.sig = make([]map[uint64]uint32, numSignals)
+			for si := range sh.sig {
+				sh.sig[si] = make(map[uint64]uint32)
+			}
+		}
+	}
+	return g
+}
+
+// NumSignals returns the breakdown width (0 when untracked).
+func (g *ShardedCI) NumSignals() int { return g.numSignals }
+
+// AddEdgeWeightSig adds w to edge {u,v} and attributes it to signal si
+// under one shard lock acquisition. On an untracked store it is exactly
+// AddEdgeWeight — the single-signal ingest hot path pays nothing.
+func (g *ShardedCI) AddEdgeWeightSig(u, v VertexID, w uint32, si int) {
+	key := PackEdge(u, v)
+	sh := &g.shards[g.EdgeShard(key)]
+	sh.mu.Lock()
+	sh.own()
+	sh.edges[key] += w
+	if sh.sig != nil {
+		sh.sig[si][key] += w
+	}
+	sh.version++
+	sh.mu.Unlock()
+	g.version.Add(1)
+}
+
+// SignalWeights returns the live per-signal breakdown of edge {u,v},
+// indexed by signal, or nil when the store tracks none. The shares sum to
+// Weight(u, v) under quiescence (reads are per-shard consistent).
+func (g *ShardedCI) SignalWeights(u, v VertexID) []uint32 {
+	if g.numSignals == 0 || u == v {
+		return nil
+	}
+	key := PackEdge(u, v)
+	sh := &g.shards[g.EdgeShard(key)]
+	out := make([]uint32, g.numSignals)
+	sh.mu.RLock()
+	for si, m := range sh.sig {
+		out[si] = m[key]
+	}
+	sh.mu.RUnlock()
+	return out
+}
+
+// UpdateShardSig is UpdateShard with signal attribution: fn additionally
+// receives signal si's breakdown map for shard i (nil when the store
+// tracks none) under the same lock. Same routing contract as UpdateShard.
+func (g *ShardedCI) UpdateShardSig(i, si int, fn func(edges, sigEdges map[uint64]uint32, pages map[VertexID]uint32)) {
+	sh := &g.shards[i]
+	sh.mu.Lock()
+	sh.own()
+	var sm map[uint64]uint32
+	if sh.sig != nil {
+		sm = sh.sig[si]
+	}
+	fn(sh.edges, sm, sh.pages)
+	sh.version++
+	sh.mu.Unlock()
+	g.version.Add(1)
+}
+
+// SubShardDeltaSignals is SubShardDelta extended with the wave's
+// per-signal share of each edge decrement: sig[si] maps edge key → the
+// amount signal si contributed to edges[key]'s total decrement. The
+// shares must sum to the total per key; both are withdrawn under one lock
+// acquisition and one version bump. sig (or any entry) may be nil on an
+// untracked store.
+func (g *ShardedCI) SubShardDeltaSignals(i int, edges map[uint64]uint32, sig []map[uint64]uint32, pages map[VertexID]uint32) {
+	if len(edges) == 0 && len(pages) == 0 {
+		return
+	}
+	g.subShardDelta(i, edges, sig, pages, nil)
+}
+
+// SubShardDeltaSignalsPatches is SubShardDeltaSignals with the withdrawn
+// TOTAL-weight transitions appended to out, exactly like
+// SubShardDeltaPatches: one patch per edge per wave even when several
+// signals contributed to the decrement, because patch consumers
+// (tripoll.Oriented.ApplyPatches via SortEdgePatches) require each edge
+// at most once per batch. The per-signal breakdown stays behind the view.
+func (g *ShardedCI) SubShardDeltaSignalsPatches(i int, edges map[uint64]uint32, sig []map[uint64]uint32, pages map[VertexID]uint32, out []EdgePatch) []EdgePatch {
+	if len(edges) == 0 && len(pages) == 0 {
+		return out
+	}
+	g.subShardDelta(i, edges, sig, pages, func(key uint64, old, new uint32) {
+		u, v := UnpackEdge(key)
+		out = append(out, EdgePatch{U: u, V: v, Old: old, New: new})
+	})
+	return out
+}
+
+// --- snapshots ----------------------------------------------------------
+
+// NumSignals returns the breakdown width frozen in the snapshot (0 when
+// the store tracks none, and always 0 on threshold products).
+func (s *CISnapshot) NumSignals() int { return s.numSignals }
+
+// SignalWeights returns the frozen per-signal breakdown of edge {u,v},
+// indexed by signal, or nil when the snapshot carries none.
+func (s *CISnapshot) SignalWeights(u, v VertexID) []uint32 {
+	if s.numSignals == 0 || u == v {
+		return nil
+	}
+	key := PackEdge(u, v)
+	shard := s.sig[mix64(key)&s.mask]
+	out := make([]uint32, s.numSignals)
+	for si, m := range shard {
+		out[si] = m[key]
+	}
+	return out
+}
+
+// SignalMix sums the per-signal breakdown over every unordered pair of
+// members — the signal mix of a flagged group: which coordination signals
+// its internal weight came from. Returns nil when the snapshot carries no
+// breakdown. O(|members|²) lookups; callers cap group size.
+func (s *CISnapshot) SignalMix(members []VertexID) []uint64 {
+	if s.numSignals == 0 {
+		return nil
+	}
+	out := make([]uint64, s.numSignals)
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if members[i] == members[j] {
+				continue
+			}
+			key := PackEdge(members[i], members[j])
+			for si, m := range s.sig[mix64(key)&s.mask] {
+				out[si] += uint64(m[key])
+			}
+		}
+	}
+	return out
+}

@@ -47,5 +47,5 @@ func ExampleProjectBucketed() {
 
 func ExampleWindow_String() {
 	fmt.Println(projection.Window{Min: 0, Max: 60})
-	// Output: (0s, 60s)
+	// Output: [0s, 60s)
 }

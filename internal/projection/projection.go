@@ -1,6 +1,6 @@
 // Package projection implements Step 1 of the paper: projecting the
 // bipartite temporal multigraph B onto the weighted common interaction
-// graph C = (U, I, w') for a delay window (δ1, δ2) — Algorithm 1.
+// graph C = (U, I, w') for a delay window [δ1, δ2) — Algorithm 1.
 //
 // Per page, every unordered author pair that commented within the window of
 // each other is recorded once; the pair's CI edge weight is the number of
@@ -42,8 +42,9 @@ func (w Window) Validate() error {
 	return nil
 }
 
-// String renders the window like the paper, e.g. "(0s, 60s)".
-func (w Window) String() string { return fmt.Sprintf("(%ds, %ds)", w.Min, w.Max) }
+// String renders the half-open interval convention this package actually
+// implements, e.g. "[0s, 60s)" — inclusive Min, exclusive Max.
+func (w Window) String() string { return fmt.Sprintf("[%ds, %ds)", w.Min, w.Max) }
 
 // Options configures a projection run.
 type Options struct {
@@ -97,13 +98,23 @@ func pagePairs(nbhd []graph.AuthorTime, w Window, opts Options, pairs map[uint64
 // accumulatePage folds one page's pair set into the CI graph: +1 weight per
 // pair, +1 page count per distinct incident author (Algorithm 1 lines 9–20).
 func accumulatePage(g *graph.CIGraph, pairs map[uint64]struct{}) {
+	accumulateObject(g, pairs, 1, 0)
+}
+
+// accumulateObject is accumulatePage generalized to any coordinated
+// object and signal: +wgt edge weight per pair attributed to signal si,
+// +1 object count per distinct incident author. P' stays a unit count of
+// contributing (signal, object) occurrences regardless of wgt — the
+// weight scales how loudly a signal speaks, not how many objects backed
+// it, and the T score normalizer keeps its equation-6 meaning.
+func accumulateObject(g *graph.CIGraph, pairs map[uint64]struct{}, wgt uint32, si int) {
 	if len(pairs) == 0 {
 		return
 	}
 	authors := make(map[graph.VertexID]struct{}, len(pairs)*2)
 	for key := range pairs {
 		u, v := graph.UnpackEdge(key)
-		g.AddEdgeWeight(u, v, 1)
+		g.AddEdgeWeightSig(u, v, wgt, si)
 		authors[u] = struct{}{}
 		authors[v] = struct{}{}
 	}

@@ -8,6 +8,18 @@ import (
 	"coordbot/internal/graph"
 )
 
+// ranks resolves the worker count for the sharded batch paths.
+func ranks(opts Options) int {
+	nr := opts.Ranks
+	if nr <= 0 {
+		nr = runtime.GOMAXPROCS(0)
+		if nr < 2 {
+			nr = 2
+		}
+	}
+	return nr
+}
+
 // ProjectSharded runs Algorithm 1 with the sharded owner-computes merge:
 // pages are dealt round-robin to worker ranks; each rank computes its
 // pages' pair sets locally and appends every (shard, key) occurrence to a
@@ -21,24 +33,52 @@ import (
 // (property-tested).
 //
 // This is the batch counterpart of the daemon's sharded live store: both
-// land in a *graph.ShardedCI whose snapshots are copy-on-write.
+// land in a *graph.ShardedCI whose snapshots are copy-on-write. It is the
+// single-signal specialization of projectObjectsSharded — co-comment
+// pages as the coordinated object, unit weight, no breakdown maps.
 func ProjectSharded(b *graph.BTM, w Window, opts Options) (*graph.ShardedCI, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	nr := opts.Ranks
-	if nr <= 0 {
-		nr = runtime.GOMAXPROCS(0)
-		if nr < 2 {
-			nr = 2
-		}
-	}
 	g := graph.NewShardedCI(0)
+	projectObjectsSharded(g, 0, b.NumPages(), func(p int) []graph.AuthorTime {
+		return b.PageNeighborhood(graph.VertexID(p))
+	}, w, 1, opts, ranks(opts))
+	return g, nil
+}
+
+// ProjectSignalsSharded projects one comment stream through every signal
+// and merges the results into a single multi-signal store: each signal's
+// objects are indexed (BuildObjectIndex), run through the same flat-log
+// owner-computes core as ProjectSharded with that signal's window and
+// weight, and attributed to the signal in the store's per-signal
+// breakdown. With exactly the default co-comment signal the result is
+// graph-equal to ProjectSharded (and carries no breakdown maps).
+func ProjectSignalsSharded(comments []graph.Comment, sigs []Signal, opts Options) (*graph.ShardedCI, error) {
+	if err := ValidateSignals(sigs); err != nil {
+		return nil, err
+	}
+	g := graph.NewShardedCISignals(0, len(sigs))
+	nr := ranks(opts)
+	for si, sig := range sigs {
+		idx := BuildObjectIndex(comments, sig)
+		projectObjectsSharded(g, si, idx.NumObjects(), idx.Neighborhood, sig.Window(), sig.Weight(), opts, nr)
+	}
+	return g, nil
+}
+
+// projectObjectsSharded is the owner-computes projection core over an
+// abstract object space: objects 0..numObjects-1 with time-sorted author
+// neighborhoods served by nbhd. Every windowed pair contributes wgt to
+// its edge total (attributed to signal si when the store tracks a
+// breakdown) and each distinct incident author +1 to the P' table per
+// object — see accumulateObject for why P' ignores wgt.
+func projectObjectsSharded(g *graph.ShardedCI, si, numObjects int, nbhd func(int) []graph.AuthorTime, w Window, wgt uint32, opts Options, nr int) {
 	p := g.NumShards()
 
 	// edgeRec / pageRec are one append-log occurrence each; the implicit
-	// weight is 1 (a pair or author counts once per page), so aggregation
-	// is a run-length count at merge time.
+	// weight is 1 (a pair or author counts once per object), so aggregation
+	// is a run-length count at merge time, scaled by wgt for edges.
 	type edgeRec struct {
 		shard int32
 		key   uint64
@@ -66,9 +106,9 @@ func ProjectSharded(b *graph.BTM, w Window, opts Options) (*graph.ShardedCI, err
 			var lg rankLog
 			pairs := make(map[uint64]struct{})
 			authors := make(map[graph.VertexID]struct{})
-			for pg := r; pg < b.NumPages(); pg += nr {
+			for pg := r; pg < numObjects; pg += nr {
 				clear(pairs)
-				pagePairs(b.PageNeighborhood(graph.VertexID(pg)), w, opts, pairs)
+				pagePairs(nbhd(pg), w, opts, pairs)
 				if len(pairs) == 0 {
 					continue
 				}
@@ -135,7 +175,7 @@ func ProjectSharded(b *graph.BTM, w Window, opts Options) (*graph.ShardedCI, err
 				if empty {
 					continue
 				}
-				g.UpdateShard(s, func(edges map[uint64]uint32, pages map[graph.VertexID]uint32) {
+				g.UpdateShardSig(s, si, func(edges, sigEdges map[uint64]uint32, pages map[graph.VertexID]uint32) {
 					for r := range logs {
 						seg := logs[r].edges[logs[r].edgeOff[s]:logs[r].edgeOff[s+1]]
 						for k := 0; k < len(seg); {
@@ -143,7 +183,11 @@ func ProjectSharded(b *graph.BTM, w Window, opts Options) (*graph.ShardedCI, err
 							for run < len(seg) && seg[run].key == seg[k].key {
 								run++
 							}
-							edges[seg[k].key] += uint32(run - k)
+							add := uint32(run-k) * wgt
+							edges[seg[k].key] += add
+							if sigEdges != nil {
+								sigEdges[seg[k].key] += add
+							}
 							k = run
 						}
 						pseg := logs[r].pages[logs[r].pageOff[s]:logs[r].pageOff[s+1]]
@@ -161,5 +205,4 @@ func ProjectSharded(b *graph.BTM, w Window, opts Options) (*graph.ShardedCI, err
 		}(m)
 	}
 	mwg.Wait()
-	return g, nil
 }

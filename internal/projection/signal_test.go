@@ -1,0 +1,256 @@
+// Property tests for the pluggable-signal projection: the default
+// co-comment signal must reproduce the legacy batch paths bit for bit,
+// the sharded multi-signal path must equal the sequential reference
+// (totals AND per-signal attribution), and the individual signal pieces
+// (spec parsing, extractors, dedupe, weight scaling) must hold their
+// contracts.
+package projection
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/redditgen"
+)
+
+// TestDefaultSignalMatchesLegacy: projecting through DefaultSignals(w) —
+// sequentially or sharded — is bit-identical to the pre-signal batch
+// implementations, across window shapes and with exclusions applied.
+func TestDefaultSignalMatchesLegacy(t *testing.T) {
+	b := randomBTM(rand.New(rand.NewSource(11)), 3000, 150, 80)
+	comments := b.Comments()
+	exclude := map[graph.VertexID]bool{3: true, 17: true}
+	for _, w := range []Window{{0, 60}, {30, 90}, {0, 600}} {
+		for _, opts := range []Options{{}, {Exclude: exclude}} {
+			legacy, err := ProjectSequential(b, w, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := ProjectSignals(comments, DefaultSignals(w), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !legacy.Equal(seq) {
+				t.Fatalf("window %v: ProjectSignals(default) != ProjectSequential (%d vs %d edges)",
+					w, seq.NumEdges(), legacy.NumEdges())
+			}
+			if seq.NumSignals() != 0 {
+				t.Fatalf("window %v: single-signal graph tracks a breakdown (%d)", w, seq.NumSignals())
+			}
+			sh, err := ProjectSignalsSharded(comments, DefaultSignals(w), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !legacy.Equal(sh) {
+				t.Fatalf("window %v: ProjectSignalsSharded(default) != ProjectSequential", w)
+			}
+			if sh.NumSignals() != 0 {
+				t.Fatalf("window %v: single-signal store tracks a breakdown (%d)", w, sh.NumSignals())
+			}
+		}
+	}
+}
+
+// TestMultiSignalShardedMatchesSequential: on a stream carrying URL,
+// hashtag, and reply attributes, the sharded multi-signal projection
+// equals the sequential reference — same merged totals and page counts,
+// and the same per-signal share on every edge, with shares summing to
+// the edge total.
+func TestMultiSignalShardedMatchesSequential(t *testing.T) {
+	ds := redditgen.Generate(redditgen.MultiSignalCampaign(0.05))
+	sigs := []Signal{
+		CoComment{W: Window{Min: 0, Max: 60}},
+		URLShare{W: Window{Min: 0, Max: 300}},
+		HashtagShare{W: Window{Min: 0, Max: 300}},
+		ReplyTarget{W: Window{Min: 0, Max: 120}},
+	}
+	opts := Options{Exclude: ds.Helpers}
+	seq, err := ProjectSignals(ds.Comments, sigs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.NumSignals() != len(sigs) {
+		t.Fatalf("sequential breakdown width %d, want %d", seq.NumSignals(), len(sigs))
+	}
+	for _, ranks := range []int{1, 4} {
+		o := opts
+		o.Ranks = ranks
+		sh, err := ProjectSignalsSharded(ds.Comments, sigs, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.Equal(sh) {
+			t.Fatalf("ranks %d: sharded multi-signal != sequential (%d vs %d edges)",
+				ranks, sh.NumEdges(), seq.NumEdges())
+		}
+		for _, e := range seq.Edges() {
+			got := sh.SignalWeights(e.U, e.V)
+			var sum uint32
+			for si := range sigs {
+				want := seq.SignalWeight(e.U, e.V, si)
+				if got[si] != want {
+					t.Fatalf("ranks %d: edge {%d,%d} signal %s: sharded %d, sequential %d",
+						ranks, e.U, e.V, sigs[si].Name(), got[si], want)
+				}
+				sum += got[si]
+			}
+			if sum != e.W {
+				t.Fatalf("ranks %d: edge {%d,%d}: signal shares sum to %d, total %d",
+					ranks, e.U, e.V, sum, e.W)
+			}
+		}
+	}
+	// The planted campaigns must actually exercise every non-default
+	// signal, or the equivalence above is vacuous.
+	perSignal := make([]uint64, len(sigs))
+	seq.ForEachEdge(func(u, v graph.VertexID, w uint32) bool {
+		for si := range sigs {
+			perSignal[si] += uint64(seq.SignalWeight(u, v, si))
+		}
+		return true
+	})
+	for si, s := range sigs {
+		if perSignal[si] == 0 {
+			t.Fatalf("signal %s contributed no weight — dataset does not cover it", s.Name())
+		}
+	}
+}
+
+// TestParseSignals pins the spec grammar: defaults, per-signal window
+// overrides in both forms, whitespace tolerance, and every error class.
+func TestParseSignals(t *testing.T) {
+	def := Window{Min: 0, Max: 60}
+	sigs, err := ParseSignals("", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != 1 || sigs[0].Name() != "cocomment" || sigs[0].Window() != def {
+		t.Fatalf("empty spec: got %v", sigs)
+	}
+
+	sigs, err = ParseSignals(" cocomment , urlshare=0:300 ,reply=120 ", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		name string
+		w    Window
+	}{
+		{"cocomment", Window{0, 60}},
+		{"urlshare", Window{0, 300}},
+		{"reply", Window{0, 120}},
+	}
+	if len(sigs) != len(want) {
+		t.Fatalf("got %d signals, want %d", len(sigs), len(want))
+	}
+	for i, w := range want {
+		if sigs[i].Name() != w.name || sigs[i].Window() != w.w {
+			t.Fatalf("signal %d: got (%s, %v), want (%s, %v)",
+				i, sigs[i].Name(), sigs[i].Window(), w.name, w.w)
+		}
+	}
+
+	sigs, err = ParseSignals("timebucket=10", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb, ok := sigs[0].(TimeBucket); !ok || tb.Bucket != 10 {
+		t.Fatalf("timebucket=10: got %#v", sigs[0])
+	}
+
+	for _, bad := range []struct{ spec, wantErr string }{
+		{"bogus", "unknown signal"},
+		{"cocomment,cocomment", "duplicate signal"},
+		{"urlshare=x:10", "bad window bound"},
+		{"urlshare=10:x", "bad window bound"},
+		{"urlshare=90:30", "window"},
+		{"timebucket=5:10", "must start at 0"},
+		{" , ", "empty signal spec"},
+	} {
+		if _, err := ParseSignals(bad.spec, def); err == nil {
+			t.Errorf("spec %q: no error", bad.spec)
+		} else if !strings.Contains(err.Error(), bad.wantErr) {
+			t.Errorf("spec %q: error %q does not mention %q", bad.spec, err, bad.wantErr)
+		}
+	}
+}
+
+// TestTimeBucketFloor: the bucket index floors toward negative infinity,
+// so pre-epoch timestamps land in stable buckets and two comments within
+// the same width-B span always share one.
+func TestTimeBucketFloor(t *testing.T) {
+	s := TimeBucket{Bucket: 10}
+	for _, tc := range []struct {
+		ts     int64
+		bucket int64
+	}{
+		{0, 0}, {9, 0}, {10, 1}, {-1, -1}, {-10, -1}, {-11, -2},
+	} {
+		got := s.AppendObjects(graph.Comment{TS: tc.ts}, nil)
+		if len(got) != 1 || got[0] != graph.VertexID(tc.bucket) {
+			t.Errorf("TS %d: bucket %v, want %d", tc.ts, got, tc.bucket)
+		}
+	}
+	// Two authors in the same bucket pair up regardless of page.
+	g, err := ProjectSignals([]graph.Comment{
+		{Author: 1, Page: 10, TS: -7},
+		{Author: 2, Page: 11, TS: -3},
+	}, []Signal{s}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(1, 2) != 1 {
+		t.Fatalf("same-bucket pair weight = %d, want 1", g.Weight(1, 2))
+	}
+}
+
+// TestDedupeObjects: in-place, order-preserving, first occurrence wins.
+func TestDedupeObjects(t *testing.T) {
+	for _, tc := range []struct{ in, want []graph.VertexID }{
+		{nil, nil},
+		{[]graph.VertexID{5}, []graph.VertexID{5}},
+		{[]graph.VertexID{5, 5, 5}, []graph.VertexID{5}},
+		{[]graph.VertexID{3, 1, 3, 2, 1}, []graph.VertexID{3, 1, 2}},
+	} {
+		got := DedupeObjects(append([]graph.VertexID(nil), tc.in...))
+		if len(got) != len(tc.want) {
+			t.Fatalf("dedupe %v: got %v, want %v", tc.in, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("dedupe %v: got %v, want %v", tc.in, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestWeightedScalesEdgesNotPages: wrapping a signal in Weighted{W: k}
+// multiplies every edge weight by k and leaves the P' normalizer alone —
+// weight is an edge-strength knob, not an activity measure.
+func TestWeightedScalesEdgesNotPages(t *testing.T) {
+	b := randomBTM(rand.New(rand.NewSource(23)), 1500, 100, 60)
+	comments := b.Comments()
+	w := Window{Min: 0, Max: 60}
+	plain, err := ProjectSignals(comments, []Signal{CoComment{W: w}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := ProjectSignals(comments, []Signal{Weighted{Signal: CoComment{W: w}, W: 3}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.NumEdges() != plain.NumEdges() {
+		t.Fatalf("edge count changed: %d vs %d", scaled.NumEdges(), plain.NumEdges())
+	}
+	plain.ForEachEdge(func(u, v graph.VertexID, wt uint32) bool {
+		if got := scaled.Weight(u, v); got != 3*wt {
+			t.Fatalf("edge {%d,%d}: weight %d, want %d", u, v, got, 3*wt)
+		}
+		if scaled.PageCount(u) != plain.PageCount(u) || scaled.PageCount(v) != plain.PageCount(v) {
+			t.Fatalf("P' changed under Weighted for edge {%d,%d}", u, v)
+		}
+		return true
+	})
+}

@@ -21,10 +21,17 @@ import (
 )
 
 // Record is one comment line of a Pushshift dump (the fields we use).
+// URLs, Hashtags, and ParentAuthor are extension fields of this repo's
+// exports (real archives carry them buried in the comment body); they
+// feed the urlshare / hashtag / reply coordination signals and are
+// simply absent from plain dumps.
 type Record struct {
-	Author     string  `json:"author"`
-	LinkID     string  `json:"link_id"`
-	CreatedUTC Float64 `json:"created_utc"`
+	Author       string   `json:"author"`
+	LinkID       string   `json:"link_id"`
+	CreatedUTC   Float64  `json:"created_utc"`
+	URLs         []string `json:"urls,omitempty"`
+	Hashtags     []string `json:"hashtags,omitempty"`
+	ParentAuthor string   `json:"parent_author,omitempty"`
 }
 
 // Float64 accepts Pushshift's mixed encodings of created_utc (number or
@@ -58,6 +65,11 @@ type Corpus struct {
 	Comments []graph.Comment
 	Authors  *interner.Interner
 	Pages    *interner.Interner
+	// URLs / Tags intern the signal-attribute object spaces (empty for
+	// plain dumps without extension fields). Reply targets intern into
+	// Authors, the space they live in.
+	URLs *interner.Interner
+	Tags *interner.Interner
 	// Skipped counts malformed lines that were dropped.
 	Skipped int
 }
@@ -86,7 +98,10 @@ func Read(r io.Reader) (*Corpus, error) {
 		defer gz.Close()
 		src = gz
 	}
-	c := &Corpus{Authors: interner.New(1 << 12), Pages: interner.New(1 << 12)}
+	c := &Corpus{
+		Authors: interner.New(1 << 12), Pages: interner.New(1 << 12),
+		URLs: interner.New(1 << 8), Tags: interner.New(1 << 8),
+	}
 	sc := bufio.NewScanner(src)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	for sc.Scan() {
@@ -99,11 +114,26 @@ func Read(r io.Reader) (*Corpus, error) {
 			c.Skipped++
 			continue
 		}
-		c.Comments = append(c.Comments, graph.Comment{
+		cm := graph.Comment{
 			Author: c.Authors.Intern(rec.Author),
 			Page:   c.Pages.Intern(rec.LinkID),
 			TS:     int64(rec.CreatedUTC),
-		})
+		}
+		if len(rec.URLs) > 0 || len(rec.Hashtags) > 0 || rec.ParentAuthor != "" {
+			attrs := &graph.CommentAttrs{}
+			for _, u := range rec.URLs {
+				attrs.URLs = append(attrs.URLs, c.URLs.Intern(u))
+			}
+			for _, h := range rec.Hashtags {
+				attrs.Tags = append(attrs.Tags, c.Tags.Intern(h))
+			}
+			if rec.ParentAuthor != "" {
+				attrs.ReplyTo = c.Authors.Intern(rec.ParentAuthor)
+				attrs.IsReply = true
+			}
+			cm.Attrs = attrs
+		}
+		c.Comments = append(c.Comments, cm)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("pushshift: scan: %w", err)
@@ -158,9 +188,31 @@ func ReadFile(path string) (*Corpus, error) {
 	return Read(f)
 }
 
+// AttrNames resolves signal-attribute IDs back to names on export. Nil
+// interners (and IDs outside them) fall back to synthetic "url_<n>" /
+// "tag_<n>" names, which is what generated datasets use — their URL and
+// tag spaces are dense integers with no name table.
+type AttrNames struct {
+	URLs *interner.Interner
+	Tags *interner.Interner
+}
+
+func attrName(in *interner.Interner, id graph.VertexID, prefix string) string {
+	if in != nil && int(id) < in.Len() {
+		return in.Name(id)
+	}
+	return fmt.Sprintf("%s%d", prefix, id)
+}
+
 // Write emits comments as NDJSON, resolving IDs through the interners.
-// gzipped controls compression.
+// gzipped controls compression. Signal attributes export with synthetic
+// URL/tag names; use WriteAttrs to resolve them through real interners.
 func Write(w io.Writer, comments []graph.Comment, authors, pages *interner.Interner, gzipped bool) error {
+	return WriteAttrs(w, comments, authors, pages, AttrNames{}, gzipped)
+}
+
+// WriteAttrs is Write with explicit name tables for the extension fields.
+func WriteAttrs(w io.Writer, comments []graph.Comment, authors, pages *interner.Interner, names AttrNames, gzipped bool) error {
 	var out io.Writer = w
 	var gz *gzip.Writer
 	if gzipped {
@@ -174,6 +226,17 @@ func Write(w io.Writer, comments []graph.Comment, authors, pages *interner.Inter
 			Author:     authors.Name(c.Author),
 			LinkID:     pages.Name(c.Page),
 			CreatedUTC: Float64(c.TS),
+		}
+		if a := c.Attrs; a != nil {
+			for _, u := range a.URLs {
+				rec.URLs = append(rec.URLs, attrName(names.URLs, u, "url_"))
+			}
+			for _, t := range a.Tags {
+				rec.Hashtags = append(rec.Hashtags, attrName(names.Tags, t, "tag_"))
+			}
+			if a.IsReply {
+				rec.ParentAuthor = attrName(authors, a.ReplyTo, "user#")
+			}
 		}
 		if err := enc.Encode(&rec); err != nil {
 			return fmt.Errorf("pushshift: encode: %w", err)

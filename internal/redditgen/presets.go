@@ -199,6 +199,59 @@ func Tiny(seed int64) Config {
 	}
 }
 
+// MultiSignalCampaign is the pluggable-signal validation corpus: three
+// campaigns, each visible almost exclusively through ONE coordination
+// signal, plus a benign link-club cohort as the urlshare confuser.
+//
+//   - urlring: 8 bots × 60 fresh-URL waves → pairwise urlshare weight
+//     ≈ 60; co-comment ≈ 0 (each drop lands on its own random page).
+//   - tagburst: 10 bots × 50 fresh-tag waves → hashtag weight ≈ 50.
+//   - dogpile: 6 bots × 80 rotating-victim waves → reply weight ≈ 80.
+//
+// Wave gaps are tuned so a whole wave fits in a 60s window (≤ 7 gaps of
+// ≤ 6s each). The organic background carries URL/tag noise so the
+// non-default signals are not trivially clean, and the linkclub cohort
+// shares a private URL pool at days-spread timing — the urlshare
+// analogue of the bookclub confuser: spatially overlapping, temporally
+// innocent, and it must stay below the weight cutoff. scale multiplies
+// only the background; the campaigns are the reproduction target.
+func MultiSignalCampaign(scale float64) Config {
+	if scale <= 0 {
+		scale = 1
+	}
+	const start int64 = 1583020800 // 2020-03-01 00:00:00 UTC
+	return Config{
+		Seed:  20260301,
+		Start: start,
+		End:   start + 14*24*3600,
+		Organic: OrganicConfig{
+			Authors:         scaleInt(4000, scale),
+			Pages:           scaleInt(3000, scale),
+			Comments:        scaleInt(80000, scale),
+			AuthorZipfS:     1.2,
+			PageZipfS:       1.15,
+			PageHalfLife:    4 * 3600,
+			DeletedFraction: 0.02,
+			URLPool:         scaleInt(400, scale),
+			URLFraction:     0.05,
+			TagPool:         scaleInt(200, scale),
+			TagFraction:     0.04,
+		},
+		Botnets: []BotnetSpec{
+			{Kind: URLShareRing, Name: "urlring", Bots: 8, Pages: 60,
+				MinDelay: 1, MaxDelay: 5},
+			{Kind: HashtagBurst, Name: "tagburst", Bots: 10, Pages: 50,
+				MinDelay: 1, MaxDelay: 4},
+			{Kind: ReplyBurst, Name: "dogpile", Bots: 6, Pages: 80,
+				MinDelay: 1, MaxDelay: 6},
+		},
+		Cohorts: []CohortSpec{{
+			Name: "linkclub", Users: 12, Pages: 50, SharedURLs: 10,
+		}},
+		AutoModerator: true,
+	}
+}
+
 // LargeCampaign is the community-layer validation corpus: four planted
 // campaigns spanning the 20–200-account range the triangle layer cannot
 // see whole, plus the benign book-club cohort as the confuser. Each

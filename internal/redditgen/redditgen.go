@@ -52,6 +52,19 @@ const (
 	// reshare burst, tighter than organic traffic. The paper's survey
 	// reference (Khaund et al. [10]) catalogues this behaviour.
 	SockpuppetChain
+	// URLShareRing mimics a cross-posted link campaign: every wave the
+	// ring mints a fresh URL and each member drops it on its own random
+	// organic page within seconds. Co-comment projection barely sees the
+	// ring (members rarely share a page); the urlshare signal counts one
+	// co-engaged object per wave.
+	URLShareRing
+	// HashtagBurst is the hashtag flavour of URLShareRing: a fresh tag
+	// per wave, pushed across scattered pages in a tight burst.
+	HashtagBurst
+	// ReplyBurst mimics coordinated dogpiling: every wave the bots all
+	// reply to the same (rotating) organic victim within seconds, on
+	// scattered pages. Only the reply-target signal links them.
+	ReplyBurst
 )
 
 // String names the kind.
@@ -65,6 +78,12 @@ func (k BotnetKind) String() string {
 		return "reply-trigger"
 	case SockpuppetChain:
 		return "sockpuppet-chain"
+	case URLShareRing:
+		return "urlshare-ring"
+	case HashtagBurst:
+		return "hashtag-burst"
+	case ReplyBurst:
+		return "reply-burst"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -110,6 +129,16 @@ type OrganicConfig struct {
 	// DeletedFraction of organic comments are re-attributed to the
 	// "[deleted]" placeholder author (default 0.02).
 	DeletedFraction float64
+	// URLPool / URLFraction attach a random URL from a platform-wide pool
+	// of URLPool links to URLFraction of organic comments — background
+	// noise for the urlshare signal. TagPool / TagFraction are the
+	// hashtag analogue. Zero pools (the default) add no attributes and
+	// draw no extra randomness, so legacy configs generate byte-identical
+	// streams.
+	URLPool     int
+	URLFraction float64
+	TagPool     int
+	TagFraction float64
 }
 
 // CohortSpec plants a *benign* community cohort: users who share a niche
@@ -128,6 +157,12 @@ type CohortSpec struct {
 	// SpreadSeconds is the span over which a page's cohort comments
 	// scatter (default 3 days) — far wider than any projection window.
 	SpreadSeconds int64
+	// SharedURLs, when positive, attaches URLs from a cohort-private pool
+	// of this size to every cohort comment: the urlshare analogue of the
+	// cohort's shared pages. Spatial URL overlap with innocent timing —
+	// co-occurrence URL detectors flag it, the windowed urlshare signal
+	// must not.
+	SharedURLs int
 }
 
 // Config is a full dataset description.
@@ -149,6 +184,10 @@ type Dataset struct {
 	Comments []graph.Comment
 	Authors  *interner.Interner
 	NumPages int
+	// NumURLs / NumTags size the URL and hashtag object spaces referenced
+	// by comment attributes (0 when no signal attributes were generated).
+	NumURLs int
+	NumTags int
 	// Truth maps botnet name → member author IDs.
 	Truth map[string][]graph.VertexID
 	// Benign maps cohort name → member author IDs (tight communities
@@ -194,6 +233,39 @@ type genState struct {
 	pages    int
 	// page creation times, indexed by page ID, for AutoModerator.
 	pageCreated []int64
+	// urls / tags count the minted URL and hashtag object IDs.
+	urls, tags int
+	// organicAuthors are the interned background users — the victim pool
+	// for ReplyBurst campaigns.
+	organicAuthors []graph.VertexID
+	// organicURLs / organicTags are the background noise pools.
+	organicURLs []graph.VertexID
+	organicTags []graph.VertexID
+}
+
+func (g *genState) newURL() graph.VertexID {
+	id := graph.VertexID(g.urls)
+	g.urls++
+	return id
+}
+
+func (g *genState) newTag() graph.VertexID {
+	id := graph.VertexID(g.tags)
+	g.tags++
+	return id
+}
+
+// randomOrganicPage picks a random background page, or reports false when
+// the config has none.
+func (g *genState) randomOrganicPage() (graph.VertexID, bool) {
+	n := g.cfg.Organic.Pages
+	if n > len(g.pageCreated) {
+		n = len(g.pageCreated)
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return graph.VertexID(g.rng.Intn(n)), true
 }
 
 func (g *genState) newPage(created int64) graph.VertexID {
@@ -205,6 +277,10 @@ func (g *genState) newPage(created int64) graph.VertexID {
 
 func (g *genState) add(author graph.VertexID, page graph.VertexID, ts int64) {
 	g.comments = append(g.comments, graph.Comment{Author: author, Page: page, TS: ts})
+}
+
+func (g *genState) addAttrs(author, page graph.VertexID, ts int64, attrs *graph.CommentAttrs) {
+	g.comments = append(g.comments, graph.Comment{Author: author, Page: page, TS: ts, Attrs: attrs})
 }
 
 // Generate produces a dataset from cfg. Identical configs produce identical
@@ -261,6 +337,12 @@ func Generate(cfg Config) *Dataset {
 			members = g.generateReplyTrigger(spec)
 		case SockpuppetChain:
 			members = g.generateSockpuppets(spec)
+		case URLShareRing:
+			members = g.generateURLRing(spec)
+		case HashtagBurst:
+			members = g.generateHashtagBurst(spec)
+		case ReplyBurst:
+			members = g.generateReplyBurst(spec)
 		default:
 			panic(fmt.Sprintf("redditgen: unknown botnet kind %d", spec.Kind))
 		}
@@ -295,6 +377,8 @@ func Generate(cfg Config) *Dataset {
 	ds.Comments = g.comments
 	ds.Authors = g.authors
 	ds.NumPages = g.pages
+	ds.NumURLs = g.urls
+	ds.NumTags = g.tags
 	return ds
 }
 
@@ -310,6 +394,13 @@ func (g *genState) generateOrganic(deleted graph.VertexID) {
 	ids := make([]graph.VertexID, o.Authors)
 	for i := range ids {
 		ids[i] = g.authors.Intern(fmt.Sprintf("user_%06d", i))
+	}
+	g.organicAuthors = ids
+	for i := 0; i < o.URLPool; i++ {
+		g.organicURLs = append(g.organicURLs, g.newURL())
+	}
+	for i := 0; i < o.TagPool; i++ {
+		g.organicTags = append(g.organicTags, g.newTag())
 	}
 
 	authorZ := rand.NewZipf(g.rng, o.AuthorZipfS, 1, uint64(o.Authors-1))
@@ -334,7 +425,24 @@ func (g *genState) generateOrganic(deleted graph.VertexID) {
 		if ts >= g.cfg.End {
 			ts = g.cfg.End - 1
 		}
-		g.add(a, page, ts)
+		// Signal-attribute noise. The pool checks also gate the rng draws,
+		// so pool-less configs keep their exact legacy streams.
+		var attrs *graph.CommentAttrs
+		if len(g.organicURLs) > 0 && g.rng.Float64() < o.URLFraction {
+			attrs = &graph.CommentAttrs{URLs: []graph.VertexID{
+				g.organicURLs[g.rng.Intn(len(g.organicURLs))]}}
+		}
+		if len(g.organicTags) > 0 && g.rng.Float64() < o.TagFraction {
+			if attrs == nil {
+				attrs = &graph.CommentAttrs{}
+			}
+			attrs.Tags = append(attrs.Tags, g.organicTags[g.rng.Intn(len(g.organicTags))])
+		}
+		if attrs != nil {
+			g.addAttrs(a, page, ts, attrs)
+		} else {
+			g.add(a, page, ts)
+		}
 	}
 }
 
@@ -473,6 +581,10 @@ func (g *genState) generateCohort(spec *CohortSpec) []graph.VertexID {
 	if spread <= 0 {
 		spread = 3 * 24 * 3600
 	}
+	var urls []graph.VertexID
+	for i := 0; i < spec.SharedURLs; i++ {
+		urls = append(urls, g.newURL())
+	}
 	span := g.cfg.End - g.cfg.Start
 	for p := 0; p < spec.Pages; p++ {
 		created := g.cfg.Start + g.rng.Int63n(span)
@@ -481,10 +593,86 @@ func (g *genState) generateCohort(spec *CohortSpec) []graph.VertexID {
 			if g.rng.Float64() >= part {
 				continue
 			}
-			g.add(u, page, created+g.rng.Int63n(spread))
+			ts := created + g.rng.Int63n(spread)
+			if len(urls) > 0 {
+				g.addAttrs(u, page, ts, &graph.CommentAttrs{URLs: []graph.VertexID{
+					urls[g.rng.Intn(len(urls))]}})
+			} else {
+				g.add(u, page, ts)
+			}
 		}
 	}
 	return users
+}
+
+// generateURLRing plants a link-pushing campaign: spec.Pages waves, each
+// minting a FRESH URL that every bot drops on its own random organic
+// page, consecutive drops MinDelay..MaxDelay apart. A fresh URL per wave
+// matters: pair weight counts each distinct co-engaged object once, so a
+// reused URL would contribute 1 total instead of 1 per wave. Pairwise
+// urlshare weight ≈ waves; co-comment weight stays near zero because the
+// bots rarely land on the same page.
+func (g *genState) generateURLRing(spec *BotnetSpec) []graph.VertexID {
+	bots := g.internBots(spec.Name, spec.Bots)
+	span := g.cfg.End - g.cfg.Start
+	for wv := 0; wv < spec.Pages; wv++ {
+		url := g.newURL()
+		t := g.cfg.Start + g.rng.Int63n(span)
+		for _, b := range bots {
+			page, ok := g.randomOrganicPage()
+			if !ok {
+				page = g.newPage(t)
+			}
+			g.addAttrs(b, page, t, &graph.CommentAttrs{URLs: []graph.VertexID{url}})
+			t += g.delay(spec)
+		}
+	}
+	return bots
+}
+
+// generateHashtagBurst is the hashtag flavour of generateURLRing: a fresh
+// tag per wave, pushed across scattered organic pages in a tight burst.
+func (g *genState) generateHashtagBurst(spec *BotnetSpec) []graph.VertexID {
+	bots := g.internBots(spec.Name, spec.Bots)
+	span := g.cfg.End - g.cfg.Start
+	for wv := 0; wv < spec.Pages; wv++ {
+		tag := g.newTag()
+		t := g.cfg.Start + g.rng.Int63n(span)
+		for _, b := range bots {
+			page, ok := g.randomOrganicPage()
+			if !ok {
+				page = g.newPage(t)
+			}
+			g.addAttrs(b, page, t, &graph.CommentAttrs{Tags: []graph.VertexID{tag}})
+			t += g.delay(spec)
+		}
+	}
+	return bots
+}
+
+// generateReplyBurst plants dogpiling: spec.Pages waves, each rotating to
+// a fresh organic victim (distinct reply-target objects — same reasoning
+// as the fresh URL per wave) that every bot replies to within seconds, on
+// random organic pages. A no-op without organic authors.
+func (g *genState) generateReplyBurst(spec *BotnetSpec) []graph.VertexID {
+	bots := g.internBots(spec.Name, spec.Bots)
+	if len(g.organicAuthors) == 0 {
+		return bots
+	}
+	span := g.cfg.End - g.cfg.Start
+	for wv := 0; wv < spec.Pages; wv++ {
+		victim := g.organicAuthors[wv%len(g.organicAuthors)]
+		t := g.cfg.Start + g.rng.Int63n(span)
+		for _, b := range bots {
+			page, ok := g.randomOrganicPage()
+			if !ok {
+				page = g.newPage(t)
+			}
+			g.addAttrs(b, page, t, &graph.CommentAttrs{ReplyTo: victim, IsReply: true})
+			t += g.delay(spec)
+		}
+	}
+	return bots
 }
 
 // generateReplyTrigger plants the §3.1.4 responder bots: they answer a

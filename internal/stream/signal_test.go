@@ -1,0 +1,185 @@
+// Property tests for the multi-signal sliding projector: at every point
+// in the stream, each signal's contribution must equal the batch
+// projection of exactly that signal's trailing-horizon comments, and the
+// merged store must equal the sum of those per-signal projections —
+// totals, page counts, and per-signal attribution alike.
+package stream
+
+import (
+	"testing"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/projection"
+	"coordbot/internal/redditgen"
+)
+
+// multiSignalBatch builds the reference multi-signal graph at a
+// watermark: every signal projected independently (batch reference) over
+// the comments still inside that signal's horizon, merged with
+// attribution via graph.MergeSignal.
+func multiSignalBatch(t *testing.T, comments []graph.Comment, sigs []SignalConfig, defHorizon, watermark int64, opts projection.Options) *graph.CIGraph {
+	t.Helper()
+	want := graph.NewCIGraphSignals(len(sigs))
+	for si, sc := range sigs {
+		h := sc.Horizon
+		if h == 0 {
+			h = defHorizon
+		}
+		var kept []graph.Comment
+		for _, c := range comments {
+			if c.TS > watermark-h {
+				kept = append(kept, c)
+			}
+		}
+		g, err := projection.ProjectSignals(kept, []projection.Signal{sc.Signal}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.MergeSignal(g, si)
+	}
+	return want
+}
+
+// TestMultiSlidingMatchesPerSignalBatch is the multi-signal tentpole
+// property: a projector fanning one stream out to three signals with
+// DISTINCT horizons equals, at every checkpoint, the merge of the three
+// independent batch projections over their respective trailing windows —
+// and the live per-signal breakdown matches the reference attribution on
+// every edge.
+func TestMultiSlidingMatchesPerSignalBatch(t *testing.T) {
+	ds := redditgen.Generate(redditgen.MultiSignalCampaign(0.05))
+	const defHorizon = 12 * 3600
+	sigs := []SignalConfig{
+		{Signal: projection.CoComment{W: projection.Window{Min: 0, Max: 60}}},
+		{Signal: projection.URLShare{W: projection.Window{Min: 0, Max: 300}}, Horizon: 6 * 3600},
+		{Signal: projection.ReplyTarget{W: projection.Window{Min: 0, Max: 120}}, Horizon: 3 * 3600},
+	}
+	opts := projection.Options{Exclude: ds.Helpers}
+	p, err := NewMultiSlidingProjector(sigs, defHorizon, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(ds.Comments) / 6
+	for i, c := range ds.Comments {
+		if err := p.Add(c); err != nil {
+			t.Fatal(err)
+		}
+		if i%step != step-1 {
+			continue
+		}
+		want := multiSignalBatch(t, ds.Comments[:i+1], sigs, defHorizon, p.Watermark(), opts)
+		got := p.Snapshot()
+		if !got.Equal(want) {
+			t.Fatalf("checkpoint %d (watermark %d): sliding merge (%d edges) != per-signal batch merge (%d edges)",
+				i, p.Watermark(), got.NumEdges(), want.NumEdges())
+		}
+		want.ForEachEdge(func(u, v graph.VertexID, w uint32) bool {
+			live := p.SignalWeights(u, v)
+			var sum uint32
+			for si := range sigs {
+				if ref := want.SignalWeight(u, v, si); live[si] != ref {
+					t.Fatalf("checkpoint %d edge {%d,%d} signal %s: live %d, reference %d",
+						i, u, v, sigs[si].Signal.Name(), live[si], ref)
+				}
+				sum += live[si]
+			}
+			if sum != w {
+				t.Fatalf("checkpoint %d edge {%d,%d}: shares sum to %d, total %d", i, u, v, sum, w)
+			}
+			return true
+		})
+	}
+
+	// Per-signal gauges must show every signal actually carrying live
+	// state (otherwise the equivalence above never tested the fan-out).
+	for _, st := range p.SignalStats() {
+		if st.LivePairs == 0 && st.EvictedPairs == 0 {
+			t.Fatalf("signal %s never contributed a pair", st.Name)
+		}
+		if st.EvictedPairs == 0 {
+			t.Fatalf("signal %s never evicted — horizons not exercised", st.Name)
+		}
+	}
+
+	// Drain: advancing past the longest horizon decays everything, object
+	// states included.
+	if err := p.AdvanceTo(p.Watermark() + defHorizon + 1); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumEdges() != 0 || p.LivePairs() != 0 {
+		t.Fatalf("after drain: %d edges, %d live pairs", p.NumEdges(), p.LivePairs())
+	}
+	if n := p.numObjectStates(); n != 0 {
+		t.Fatalf("after drain: %d object states leaked", n)
+	}
+}
+
+// TestMultiSlidingEvictionPatchesPerWave: with several signals
+// decrementing the same edges, each eviction wave still delivers at most
+// one patch per edge, sorted, with consistent old→new total transitions —
+// the contract the persistent oriented adjacency consumes.
+func TestMultiSlidingEvictionPatchesPerWave(t *testing.T) {
+	ds := redditgen.Generate(redditgen.MultiSignalCampaign(0.04))
+	sigs := []SignalConfig{
+		{Signal: projection.CoComment{W: projection.Window{Min: 0, Max: 60}}},
+		{Signal: projection.URLShare{W: projection.Window{Min: 0, Max: 300}}},
+		{Signal: projection.HashtagShare{W: projection.Window{Min: 0, Max: 300}}},
+	}
+	p, err := NewMultiSlidingProjector(sigs, 4*3600, projection.Options{Exclude: ds.Helpers}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lastNew tracks each edge's total after its latest patch. Between
+	// patches the weight only grows (additions), so every patch must open
+	// at or above where the previous one closed, and close strictly lower
+	// than it opened — a patch records a real decrement of the TOTAL, no
+	// matter how many signals contributed.
+	lastNew := make(map[uint64]uint32)
+	waves := 0
+	p.SetEvictionPatchSink(func(batch []graph.EdgePatch) {
+		waves++
+		seen := make(map[uint64]bool, len(batch))
+		for i, ep := range batch {
+			key := graph.PackEdge(ep.U, ep.V)
+			if seen[key] {
+				t.Fatalf("wave %d: edge {%d,%d} patched twice", waves, ep.U, ep.V)
+			}
+			seen[key] = true
+			if i > 0 {
+				prev := batch[i-1]
+				if prev.U > ep.U || (prev.U == ep.U && prev.V >= ep.V) {
+					t.Fatalf("wave %d: patches not sorted at %d", waves, i)
+				}
+			}
+			if ep.New >= ep.Old {
+				t.Fatalf("wave %d: edge {%d,%d} patch %d→%d is not a decrement", waves, ep.U, ep.V, ep.Old, ep.New)
+			}
+			if ep.Old < lastNew[key] {
+				t.Fatalf("wave %d: edge {%d,%d} opens at %d below previous close %d",
+					waves, ep.U, ep.V, ep.Old, lastNew[key])
+			}
+			lastNew[key] = ep.New
+		}
+	})
+	if err := p.AddAll(ds.Comments); err != nil {
+		t.Fatal(err)
+	}
+	if waves == 0 {
+		t.Fatal("stream produced no eviction waves")
+	}
+	// Drain completely: every live contribution must leave through the
+	// sink, so each patched edge's final transition lands on zero and the
+	// store empties.
+	if err := p.AdvanceTo(p.Watermark() + 5*3600); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumEdges() != 0 {
+		t.Fatalf("after drain: %d edges still live", p.NumEdges())
+	}
+	for key, n := range lastNew {
+		if n != 0 {
+			u, v := graph.UnpackEdge(key)
+			t.Fatalf("edge {%d,%d} closed at %d after a full drain", u, v, n)
+		}
+	}
+}

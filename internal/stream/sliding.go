@@ -5,20 +5,37 @@
 // supporting comments have all aged past the horizon is decremented back
 // out, and the per-author page counts P' shrink with it.
 //
-// The invariant (property-tested in sliding_test.go) is
+// The projector is signal-pluggable: it fans every comment out to one or
+// more projection.Signals (co-commenting by default; URL co-sharing,
+// hashtag overlap, reply targeting, time-bucket synchrony optionally),
+// each with its own object states, expiry heaps, delay window, and
+// trailing horizon, all merged into ONE sharded CI store with per-signal
+// weight attribution when two or more signals run.
 //
-//	Snapshot() == projection.ProjectSequential(BTM of comments with
-//	              TS > Watermark()-horizon, window)
+// The invariant (property-tested in sliding_test.go) generalizes per
+// signal: for every configured signal s,
 //
-// at every point in the stream — the live graph is always exactly the batch
-// projection of the trailing window, so everything downstream (tripoll,
-// hypergraph, thresholds, scores) keeps its batch-mode meaning.
+//	the signal's contribution == projection of the comments with
+//	TS > Watermark()-horizon(s) through s alone
 //
-// Mechanics: per page, live[pair] records the newest "older comment"
-// timestamp supporting that pair; the pair's contribution dies when that
-// timestamp leaves the horizon. A global lazy min-heap of (timestamp, page,
-// pair) entries drives eviction in O(log n) amortized per support, with
-// stale entries (superseded by a fresher support) skipped on pop.
+// and the store's totals are the sum over signals — so with the single
+// default signal, Snapshot() == projection.ProjectSequential(BTM of
+// comments with TS > Watermark()-horizon, window) at every point in the
+// stream, exactly the legacy behaviour, and everything downstream
+// (tripoll, hypergraph, thresholds, scores) keeps its batch-mode meaning
+// on the merged graph.
+//
+// Mechanics: per (signal, object), live[pair] records the newest "older
+// comment" timestamp supporting that pair; the pair's contribution dies
+// when that timestamp leaves the signal's horizon. Per-signal lazy
+// min-heaps of (timestamp, object, pair) entries drive eviction in
+// O(log n) amortized per support, with stale entries (superseded by a
+// fresher support) skipped on pop. All signals' expired contributions in
+// one watermark advance land as a single shard-grouped eviction wave, so
+// each touched shard's dirty version advances once per wave — the unit
+// the delta surveys and patch consumers count on — and patches report
+// total-weight transitions only (each edge at most once per wave, no
+// matter how many signals decremented it).
 package stream
 
 import (
@@ -29,10 +46,17 @@ import (
 	"coordbot/internal/projection"
 )
 
+// SignalConfig pairs one projection signal with an optional trailing
+// horizon override in seconds (0 = the projector-wide horizon).
+type SignalConfig struct {
+	Signal  projection.Signal
+	Horizon int64
+}
+
 // SlidingProjector maintains the CI graph of the trailing horizon of a
-// time-ordered comment stream. Create with NewSlidingProjector; feed with
-// Add (or advance idle time with AdvanceTo); read with Snapshot; finalize
-// with Result.
+// time-ordered comment stream. Create with NewSlidingProjector (single
+// default signal) or NewMultiSlidingProjector; feed with Add (or advance
+// idle time with AdvanceTo); read with Snapshot; finalize with Result.
 //
 // The live graph is a sharded store (graph.ShardedCI) so Snapshot is
 // copy-on-write: O(shards) per call, with dirty shards recopied lazily by
@@ -42,28 +66,45 @@ import (
 // GraphVersion go through the store's per-shard locks and are safe
 // concurrently with the single writer.
 type SlidingProjector struct {
-	w       projection.Window
-	horizon int64
+	sigs    []*sigState
+	horizon int64 // default trailing horizon (per-signal states hold their own)
 	opts    projection.Options
 
-	g     *graph.ShardedCI
-	pages map[graph.VertexID]*slidingPage
-	exp   expiryHeap
-	// idle schedules page-state GC: a page whose newest comment has left
-	// the pairing window and that holds no live pairs is dropped, so quiet
-	// pages cost nothing (key is unused in idle entries).
-	idle expiryHeap
+	g *graph.ShardedCI
+	// track is len(sigs) >= 2: the store keeps a per-signal breakdown and
+	// eviction waves carry per-signal decrements.
+	track bool
 
 	lastTS   int64
 	started  bool
 	finished bool
 	count    int64
-	live     int64
-	evicted  int64
 
 	// patchSink, when set, receives every eviction wave's edge transitions
 	// as one sorted patch batch (SetEvictionPatchSink).
 	patchSink func([]graph.EdgePatch)
+}
+
+// sigState is one signal's private projection state: its object states,
+// expiry heaps, and gauges. si indexes the store's breakdown.
+type sigState struct {
+	sig     projection.Signal
+	si      int
+	w       projection.Window
+	weight  uint32
+	horizon int64
+
+	objects map[graph.VertexID]*slidingPage
+	exp     expiryHeap
+	// idle schedules object-state GC: an object whose newest comment has
+	// left the pairing window and that holds no live pairs is dropped, so
+	// quiet objects cost nothing (key is unused in idle entries).
+	idle expiryHeap
+
+	live    int64
+	evicted int64
+	// objbuf is the reusable extractor scratch.
+	objbuf []graph.VertexID
 }
 
 type slidingPage struct {
@@ -74,9 +115,9 @@ type slidingPage struct {
 	// supporting it; the contribution expires when that timestamp ages out.
 	live map[uint64]int64
 	// incident counts, per author, the live pairs touching it on this
-	// page; the author's P' contribution for the page lives while > 0.
+	// object; the author's P' contribution for the object lives while > 0.
 	incident map[graph.VertexID]int
-	// lastTS is the page's newest comment timestamp (GC staleness check).
+	// lastTS is the object's newest comment timestamp (GC staleness check).
 	lastTS int64
 }
 
@@ -118,16 +159,48 @@ func NewSlidingProjectorShards(w projection.Window, horizon int64, opts projecti
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	if horizon <= 0 {
-		return nil, fmt.Errorf("stream: non-positive horizon %d", horizon)
+	return NewMultiSlidingProjector([]SignalConfig{{Signal: projection.CoComment{W: w}}}, horizon, opts, shards)
+}
+
+// NewMultiSlidingProjector creates a sliding projector fanning the stream
+// out to the given signals, each evicting on its own horizon (0 = the
+// default horizon argument), merged into one live store. A single-signal
+// configuration tracks no breakdown and is bit-identical to the legacy
+// projector; with two or more signals the store attributes every edge's
+// weight per signal (graph.NewShardedCISignals).
+func NewMultiSlidingProjector(sigs []SignalConfig, horizon int64, opts projection.Options, shards int) (*SlidingProjector, error) {
+	ss := make([]projection.Signal, len(sigs))
+	for i, sc := range sigs {
+		ss[i] = sc.Signal
 	}
-	return &SlidingProjector{
-		w:       w,
+	if err := projection.ValidateSignals(ss); err != nil {
+		return nil, err
+	}
+	p := &SlidingProjector{
+		sigs:    make([]*sigState, len(sigs)),
 		horizon: horizon,
 		opts:    opts,
-		g:       graph.NewShardedCI(shards),
-		pages:   make(map[graph.VertexID]*slidingPage),
-	}, nil
+		g:       graph.NewShardedCISignals(shards, len(sigs)),
+		track:   len(sigs) >= 2,
+	}
+	for i, sc := range sigs {
+		h := sc.Horizon
+		if h == 0 {
+			h = horizon
+		}
+		if h <= 0 {
+			return nil, fmt.Errorf("stream: signal %q: non-positive horizon %d", sc.Signal.Name(), h)
+		}
+		p.sigs[i] = &sigState{
+			sig:     sc.Signal,
+			si:      i,
+			w:       sc.Signal.Window(),
+			weight:  sc.Signal.Weight(),
+			horizon: h,
+			objects: make(map[graph.VertexID]*slidingPage),
+		}
+	}
+	return p, nil
 }
 
 // Count returns the number of comments consumed.
@@ -137,13 +210,69 @@ func (p *SlidingProjector) Count() int64 { return p.count }
 // largest timestamp seen by Add/AdvanceTo; 0 before the first).
 func (p *SlidingProjector) Watermark() int64 { return p.lastTS }
 
-// LivePairs returns the number of (page, pair) contributions currently in
-// the graph; EvictedPairs the cumulative number aged out.
-func (p *SlidingProjector) LivePairs() int64    { return p.live }
-func (p *SlidingProjector) EvictedPairs() int64 { return p.evicted }
+// LivePairs returns the number of (signal, object, pair) contributions
+// currently in the graph; EvictedPairs the cumulative number aged out.
+func (p *SlidingProjector) LivePairs() int64 {
+	var n int64
+	for _, st := range p.sigs {
+		n += st.live
+	}
+	return n
+}
 
-// Horizon returns the configured trailing horizon in seconds.
+func (p *SlidingProjector) EvictedPairs() int64 {
+	var n int64
+	for _, st := range p.sigs {
+		n += st.evicted
+	}
+	return n
+}
+
+// Horizon returns the configured default trailing horizon in seconds.
 func (p *SlidingProjector) Horizon() int64 { return p.horizon }
+
+// Signals returns the configured signals in breakdown order.
+func (p *SlidingProjector) Signals() []projection.Signal {
+	out := make([]projection.Signal, len(p.sigs))
+	for i, st := range p.sigs {
+		out[i] = st.sig
+	}
+	return out
+}
+
+// SignalStat is one signal's live gauges.
+type SignalStat struct {
+	Name         string
+	Window       projection.Window
+	Horizon      int64
+	Weight       uint32
+	LivePairs    int64
+	EvictedPairs int64
+	LiveObjects  int
+}
+
+// SignalStats returns per-signal gauges in breakdown order.
+func (p *SlidingProjector) SignalStats() []SignalStat {
+	out := make([]SignalStat, len(p.sigs))
+	for i, st := range p.sigs {
+		out[i] = SignalStat{
+			Name:         st.sig.Name(),
+			Window:       st.w,
+			Horizon:      st.horizon,
+			Weight:       st.weight,
+			LivePairs:    st.live,
+			EvictedPairs: st.evicted,
+			LiveObjects:  len(st.objects),
+		}
+	}
+	return out
+}
+
+// SignalWeights reads the live per-signal breakdown of edge {u,v} (nil
+// for single-signal projectors; see graph.ShardedCI.SignalWeights).
+func (p *SlidingProjector) SignalWeights(u, v graph.VertexID) []uint32 {
+	return p.g.SignalWeights(u, v)
+}
 
 // EdgeWeight reads the live CI weight w'_uv (0 if absent or u==v).
 func (p *SlidingProjector) EdgeWeight(u, v graph.VertexID) uint32 { return p.g.Weight(u, v) }
@@ -174,22 +303,36 @@ func (p *SlidingProjector) Add(c graph.Comment) error {
 	p.started = true
 	p.lastTS = c.TS
 	p.count++
-	p.evictExpired(c.TS - p.horizon)
+	p.evictExpired()
 
 	if p.skip(c.Author) {
 		return nil
 	}
-	ps := p.pages[c.Page]
+	for _, st := range p.sigs {
+		st.objbuf = projection.DedupeObjects(st.sig.AppendObjects(c, st.objbuf[:0]))
+		for _, obj := range st.objbuf {
+			p.addToObject(st, obj, c)
+		}
+	}
+	return nil
+}
+
+// addToObject runs the windowed pairing of one (signal, object)
+// engagement: pair the comment against the object's buffered trailing-δ2
+// comments, count fresh pairs into the store with the signal's weight and
+// attribution, refresh leases on already-counted pairs.
+func (p *SlidingProjector) addToObject(st *sigState, obj graph.VertexID, c graph.Comment) {
+	ps := st.objects[obj]
 	if ps == nil {
 		ps = &slidingPage{
 			live:     make(map[uint64]int64),
 			incident: make(map[graph.VertexID]int),
 		}
-		p.pages[c.Page] = ps
+		st.objects[obj] = ps
 	}
 
 	// Evict buffered comments that can no longer pair: t_new - t_old < w.Max.
-	for ps.start < len(ps.buf) && c.TS-ps.buf[ps.start].TS >= p.w.Max {
+	for ps.start < len(ps.buf) && c.TS-ps.buf[ps.start].TS >= st.w.Max {
 		ps.start++
 	}
 	if ps.start > 64 && ps.start*2 > len(ps.buf) {
@@ -200,27 +343,27 @@ func (p *SlidingProjector) Add(c graph.Comment) error {
 	for i := ps.start; i < len(ps.buf); i++ {
 		old := ps.buf[i]
 		d := c.TS - old.TS
-		if d < p.w.Min || old.Author == c.Author {
+		if d < st.w.Min || old.Author == c.Author {
 			continue
 		}
-		if d >= p.horizon {
+		if d >= st.horizon {
 			// Support already outside the horizon (horizon < w.Max):
 			// counting it would create a contribution born dead.
 			continue
 		}
 		key := graph.PackEdge(old.Author, c.Author)
 		if prev, ok := ps.live[key]; ok {
-			// Pair already counted for this page: refresh its lease.
+			// Pair already counted for this object: refresh its lease.
 			if old.TS > prev {
 				ps.live[key] = old.TS
-				heap.Push(&p.exp, expiryEntry{oldTS: old.TS, page: c.Page, key: key})
+				heap.Push(&st.exp, expiryEntry{oldTS: old.TS, page: obj, key: key})
 			}
 			continue
 		}
 		ps.live[key] = old.TS
-		heap.Push(&p.exp, expiryEntry{oldTS: old.TS, page: c.Page, key: key})
-		p.g.AddEdgeWeight(old.Author, c.Author, 1)
-		p.live++
+		heap.Push(&st.exp, expiryEntry{oldTS: old.TS, page: obj, key: key})
+		p.g.AddEdgeWeightSig(old.Author, c.Author, st.weight, st.si)
+		st.live++
 		for _, a := range [2]graph.VertexID{old.Author, c.Author} {
 			if ps.incident[a] == 0 {
 				p.g.AddPageCount(a, 1)
@@ -230,10 +373,9 @@ func (p *SlidingProjector) Add(c graph.Comment) error {
 	}
 	ps.buf = append(ps.buf, graph.AuthorTime{Author: c.Author, TS: c.TS})
 	if ps.lastTS < c.TS || len(ps.buf) == 1 {
-		heap.Push(&p.idle, expiryEntry{oldTS: c.TS, page: c.Page})
+		heap.Push(&st.idle, expiryEntry{oldTS: c.TS, page: obj})
 	}
 	ps.lastTS = c.TS
-	return nil
 }
 
 // AddAll consumes a time-ordered batch.
@@ -259,85 +401,104 @@ func (p *SlidingProjector) AdvanceTo(ts int64) error {
 	}
 	p.started = true
 	p.lastTS = ts
-	p.evictExpired(ts - p.horizon)
+	p.evictExpired()
 	return nil
 }
 
-// evictExpired withdraws every contribution whose newest support has
-// timestamp <= cutoff. Heap entries superseded by a fresher support are
+// evictExpired withdraws, for every signal, each contribution whose
+// newest support has aged past that signal's horizon (timestamp <=
+// watermark - horizon). Heap entries superseded by a fresher support are
 // recognized (stored timestamp mismatch) and skipped. Store updates are
-// shard-grouped: the wave's edge and page decrements accumulate locally
-// and land via applyEvictions, which takes each owning shard's lock once
-// per wave — not once per expired pair — and advances each touched
-// shard's dirty version once, giving the delta survey one coherent dirty
-// unit per watermark advance.
-func (p *SlidingProjector) evictExpired(cutoff int64) {
+// shard-grouped across ALL signals: the wave's total edge decrements,
+// per-signal shares, and page decrements accumulate locally and land via
+// applyEvictions, which takes each owning shard's lock once per wave —
+// not once per expired pair — and advances each touched shard's dirty
+// version once, giving the delta survey one coherent dirty unit per
+// watermark advance.
+func (p *SlidingProjector) evictExpired() {
 	var edgeDec map[uint64]uint32
+	var sigDec []map[uint64]uint32
 	var pageDec map[graph.VertexID]uint32
-	for len(p.exp) > 0 && p.exp[0].oldTS <= cutoff {
-		e := heap.Pop(&p.exp).(expiryEntry)
-		ps := p.pages[e.page]
-		if ps == nil {
-			continue
-		}
-		ts, ok := ps.live[e.key]
-		if !ok || ts != e.oldTS {
-			continue // stale entry: refreshed or already gone
-		}
-		delete(ps.live, e.key)
-		if edgeDec == nil {
-			edgeDec = make(map[uint64]uint32)
-			pageDec = make(map[graph.VertexID]uint32)
-		}
-		edgeDec[e.key]++
-		p.live--
-		p.evicted++
-		u, v := graph.UnpackEdge(e.key)
-		for _, a := range [2]graph.VertexID{u, v} {
-			ps.incident[a]--
-			if ps.incident[a] == 0 {
-				delete(ps.incident, a)
-				pageDec[a]++
+	for _, st := range p.sigs {
+		cutoff := p.lastTS - st.horizon
+		for len(st.exp) > 0 && st.exp[0].oldTS <= cutoff {
+			e := heap.Pop(&st.exp).(expiryEntry)
+			ps := st.objects[e.page]
+			if ps == nil {
+				continue
 			}
-		}
-		// Buffered comments older than w.Max behind the watermark can
-		// never pair again; once none remain and no pair is live, the
-		// page state is dead.
-		for ps.start < len(ps.buf) && p.lastTS-ps.buf[ps.start].TS >= p.w.Max {
-			ps.start++
-		}
-		if len(ps.live) == 0 && ps.start >= len(ps.buf) {
-			delete(p.pages, e.page)
+			ts, ok := ps.live[e.key]
+			if !ok || ts != e.oldTS {
+				continue // stale entry: refreshed or already gone
+			}
+			delete(ps.live, e.key)
+			if edgeDec == nil {
+				edgeDec = make(map[uint64]uint32)
+				pageDec = make(map[graph.VertexID]uint32)
+				if p.track {
+					sigDec = make([]map[uint64]uint32, len(p.sigs))
+				}
+			}
+			edgeDec[e.key] += st.weight
+			if p.track {
+				if sigDec[st.si] == nil {
+					sigDec[st.si] = make(map[uint64]uint32)
+				}
+				sigDec[st.si][e.key] += st.weight
+			}
+			st.live--
+			st.evicted++
+			u, v := graph.UnpackEdge(e.key)
+			for _, a := range [2]graph.VertexID{u, v} {
+				ps.incident[a]--
+				if ps.incident[a] == 0 {
+					delete(ps.incident, a)
+					pageDec[a]++
+				}
+			}
+			// Buffered comments older than w.Max behind the watermark can
+			// never pair again; once none remain and no pair is live, the
+			// object state is dead.
+			for ps.start < len(ps.buf) && p.lastTS-ps.buf[ps.start].TS >= st.w.Max {
+				ps.start++
+			}
+			if len(ps.live) == 0 && ps.start >= len(ps.buf) {
+				delete(st.objects, e.page)
+			}
 		}
 	}
 	if edgeDec != nil {
-		p.applyEvictions(edgeDec, pageDec)
+		p.applyEvictions(edgeDec, sigDec, pageDec)
 	}
 
-	// Idle-page GC: pages whose newest comment left the pairing window and
-	// that carry no live pairs (single-commenter pages, or pages whose
-	// pairs all expired first) are dropped here; pages still holding live
-	// pairs are left for the pair path above.
-	gcCut := p.lastTS - p.w.Max
-	for len(p.idle) > 0 && p.idle[0].oldTS <= gcCut {
-		e := heap.Pop(&p.idle).(expiryEntry)
-		ps := p.pages[e.page]
-		if ps == nil || ps.lastTS != e.oldTS {
-			continue // stale: page gone or newer activity
-		}
-		if len(ps.live) == 0 {
-			delete(p.pages, e.page)
+	// Idle-object GC: objects whose newest comment left the pairing window
+	// and that carry no live pairs (single-commenter objects, or objects
+	// whose pairs all expired first) are dropped here; objects still
+	// holding live pairs are left for the pair path above.
+	for _, st := range p.sigs {
+		gcCut := p.lastTS - st.w.Max
+		for len(st.idle) > 0 && st.idle[0].oldTS <= gcCut {
+			e := heap.Pop(&st.idle).(expiryEntry)
+			ps := st.objects[e.page]
+			if ps == nil || ps.lastTS != e.oldTS {
+				continue // stale: object gone or newer activity
+			}
+			if len(ps.live) == 0 {
+				delete(st.objects, e.page)
+			}
 		}
 	}
 }
 
 // applyEvictions routes one eviction wave's accumulated edge and page
-// decrements to their owning shards and withdraws each shard's batch
-// under a single lock acquisition (graph.ShardedCI.SubShardDelta). With a
-// patch sink installed the per-shard withdrawals also record each edge's
-// weight transition, and the wave's combined batch is delivered to the
-// sink sorted by (U, V).
-func (p *SlidingProjector) applyEvictions(edgeDec map[uint64]uint32, pageDec map[graph.VertexID]uint32) {
+// decrements (and, on multi-signal projectors, the per-signal shares of
+// each edge decrement) to their owning shards and withdraws each shard's
+// batch under a single lock acquisition. With a patch sink installed the
+// per-shard withdrawals also record each edge's TOTAL weight transition,
+// and the wave's combined batch is delivered to the sink sorted by
+// (U, V) — one patch per edge per wave regardless of how many signals
+// contributed, preserving the contract of graph.SortEdgePatches.
+func (p *SlidingProjector) applyEvictions(edgeDec map[uint64]uint32, sigDec []map[uint64]uint32, pageDec map[graph.VertexID]uint32) {
 	edgesByShard := make(map[int]map[uint64]uint32)
 	for key, n := range edgeDec {
 		i := p.g.EdgeShard(key)
@@ -347,6 +508,24 @@ func (p *SlidingProjector) applyEvictions(edgeDec map[uint64]uint32, pageDec map
 			edgesByShard[i] = m
 		}
 		m[key] = n
+	}
+	var sigByShard map[int][]map[uint64]uint32
+	if sigDec != nil {
+		sigByShard = make(map[int][]map[uint64]uint32)
+		for si, dec := range sigDec {
+			for key, n := range dec {
+				i := p.g.EdgeShard(key)
+				sl := sigByShard[i]
+				if sl == nil {
+					sl = make([]map[uint64]uint32, len(p.sigs))
+					sigByShard[i] = sl
+				}
+				if sl[si] == nil {
+					sl[si] = make(map[uint64]uint32)
+				}
+				sl[si][key] = n
+			}
+		}
 	}
 	pagesByShard := make(map[int]map[graph.VertexID]uint32)
 	for v, n := range pageDec {
@@ -361,9 +540,9 @@ func (p *SlidingProjector) applyEvictions(edgeDec map[uint64]uint32, pageDec map
 	var patches []graph.EdgePatch
 	for i, em := range edgesByShard {
 		if p.patchSink != nil {
-			patches = p.g.SubShardDeltaPatches(i, em, pagesByShard[i], patches)
+			patches = p.g.SubShardDeltaSignalsPatches(i, em, sigByShard[i], pagesByShard[i], patches)
 		} else {
-			p.g.SubShardDelta(i, em, pagesByShard[i])
+			p.g.SubShardDeltaSignals(i, em, sigByShard[i], pagesByShard[i])
 		}
 		delete(pagesByShard, i)
 	}
@@ -405,16 +584,32 @@ func (p *SlidingProjector) GraphVersion() uint64 { return p.g.Version() }
 // must not be used afterwards; Add and AdvanceTo return ErrAddAfterResult.
 func (p *SlidingProjector) Result() graph.CIView {
 	p.finished = true
-	p.pages = nil
-	p.exp = nil
+	for _, st := range p.sigs {
+		st.objects = nil
+		st.exp = nil
+		st.idle = nil
+	}
 	return p.g
 }
 
-// BufferedComments reports the transient δ2 buffer size across pages.
+// BufferedComments reports the transient δ2 buffer size across every
+// signal's object states.
 func (p *SlidingProjector) BufferedComments() int {
 	n := 0
-	for _, ps := range p.pages {
-		n += len(ps.buf) - ps.start
+	for _, st := range p.sigs {
+		for _, ps := range st.objects {
+			n += len(ps.buf) - ps.start
+		}
+	}
+	return n
+}
+
+// numObjectStates counts retained object states across signals (tests pin
+// the GC behaviour with it).
+func (p *SlidingProjector) numObjectStates() int {
+	n := 0
+	for _, st := range p.sigs {
+		n += len(st.objects)
 	}
 	return n
 }

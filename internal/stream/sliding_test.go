@@ -187,7 +187,7 @@ func TestSlidingPageStateGC(t *testing.T) {
 	if err := p.AdvanceTo(5000); err != nil {
 		t.Fatal(err)
 	}
-	if n := len(p.pages); n != 0 {
+	if n := p.numObjectStates(); n != 0 {
 		t.Fatalf("%d page states leaked after decay", n)
 	}
 	if p.BufferedComments() != 0 {
