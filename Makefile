@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check vet test test-race bench bench-adjacency bench-community bench-signals fuzz experiments examples clean
+.PHONY: all build check vet test test-race bench bench-adjacency bench-community bench-signals bench-ingest fuzz experiments examples clean
 
 all: build check
 
@@ -58,6 +58,12 @@ bench-community:
 # <=2x-per-added-signal throughput bar on both paths.
 bench-signals:
 	BENCH_SIGNALS_OUT=BENCH_signals.json $(GO) test -run TestWriteSignalsBench -v -timeout 60m .
+
+# End-to-end ingest fast path (wire decode + batch intern + projector
+# apply) in both wire formats at serial and all-core worker settings;
+# writes the JSON report and enforces <=2 heap allocations per comment.
+bench-ingest:
+	BENCH_INGEST_OUT=BENCH_ingest.json $(GO) test -run TestWriteIngestBench -v -timeout 60m .
 
 # Full-scale reproduction of every paper artifact (~10 min).
 experiments:

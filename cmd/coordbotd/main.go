@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on the default mux, served by -pprof-addr
 	"os"
 	"os/signal"
 	"strconv"
@@ -55,7 +56,9 @@ func main() {
 	noHyper := fs.Bool("no-hyper", false, "skip hypergraph validation (no comment log kept)")
 	dropLate := fs.Bool("drop-late", false, "drop out-of-order comments instead of clamping to the watermark")
 	ranks := fs.Int("ranks", 0, "survey parallelism (0 = all cores)")
+	ingestWorkers := fs.Int("ingest-workers", 0, "projector batch-ingest parallelism (0 = all cores, 1 = serial)")
 	shards := fs.Int("shards", 0, "live CI store shard count, rounded up to a power of two (0 = default)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	communities := fs.Bool("communities", false, "cluster the pruned graph each cycle and serve /v1/communities")
 	communityAlgo := fs.String("community-algo", "leiden", "clustering algorithm: leiden or labelprop")
 	resolution := fs.Float64("resolution", 1.0, "Leiden CPM resolution γ")
@@ -111,6 +114,7 @@ func main() {
 		QueueSize:          *queue,
 		ClampLate:          !*dropLate,
 		Ranks:              *ranks,
+		IngestWorkers:      *ingestWorkers,
 		Shards:             *shards,
 		OrientRebuildFrac:  *rebuildFrac,
 		Communities:        *communities,
@@ -125,6 +129,18 @@ func main() {
 		os.Exit(1)
 	}
 	s.Start()
+
+	if *pprofAddr != "" {
+		// The default mux carries the net/http/pprof handlers via its
+		// blank import; served on a separate listener so profiling stays
+		// off the public API address.
+		go func() {
+			log.Printf("coordbotd: pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("coordbotd: pprof server: %v", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

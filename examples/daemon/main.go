@@ -6,17 +6,18 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
-	"strings"
 	"time"
 
 	"coordbot/internal/detectd"
 	"coordbot/internal/projection"
 	"coordbot/internal/redditgen"
+	"coordbot/internal/wire"
 )
 
 func main() {
@@ -63,26 +64,24 @@ func main() {
 	fmt.Printf("daemon: listening at %s\n", srv.URL)
 
 	// 3. Stream the dataset through POST /v1/ingest in batches, retrying
-	//    on 429 (the daemon pushes back when its queue is full).
+	//    on 429 (the daemon pushes back when its queue is full). Batches
+	//    go as binary frames (wire.Encoder + the x-coordbot-frame content
+	//    type) — no JSON escaping or parsing on either side; a plain JSON
+	//    array body would work identically.
 	const batchSize = 500
+	enc := wire.NewEncoder()
 	for lo := 0; lo < len(dataset.Comments); lo += batchSize {
 		hi := lo + batchSize
 		if hi > len(dataset.Comments) {
 			hi = len(dataset.Comments)
 		}
-		var sb strings.Builder
-		sb.WriteString("[")
-		for i, c := range dataset.Comments[lo:hi] {
-			if i > 0 {
-				sb.WriteString(",")
-			}
-			fmt.Fprintf(&sb, `{"author":%q,"page":"p%d","ts":%d}`,
-				dataset.Authors.Name(c.Author), c.Page, c.TS)
+		enc.Reset()
+		for _, c := range dataset.Comments[lo:hi] {
+			enc.Add(dataset.Authors.Name(c.Author), fmt.Sprintf("p%d", c.Page), c.TS)
 		}
-		sb.WriteString("]")
 		for {
-			resp, err := http.Post(srv.URL+"/v1/ingest", "application/json",
-				strings.NewReader(sb.String()))
+			resp, err := http.Post(srv.URL+"/v1/ingest", wire.ContentTypeFrame,
+				bytes.NewReader(enc.Bytes()))
 			if err != nil {
 				log.Fatal(err)
 			}

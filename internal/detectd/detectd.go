@@ -31,6 +31,7 @@ package detectd
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -96,6 +97,12 @@ type Config struct {
 	// copy-on-write cost hot ingestion pays after each snapshot — and
 	// tighten the dirty-shard diff the incremental survey starts from.
 	Shards int
+	// IngestWorkers is the projector's batch-ingest parallelism: batches
+	// are dispatched across object-striped lanes processed by this many
+	// goroutines (stream.NewMultiSlidingProjectorWorkers). 0 means
+	// GOMAXPROCS; 1 forces the serial reference path. The projected graph
+	// is identical either way.
+	IngestWorkers int
 	// FullResurvey disables the incremental delta-survey path: every
 	// cycle re-enumerates the whole snapshot and re-validates every
 	// triangle, as if no previous cycle existed. The baseline mode for
@@ -263,8 +270,13 @@ type Service struct {
 	// labelling (immutable after NewService).
 	signalNames []string
 
-	mu   sync.Mutex // guards proj, log, and logDirty
+	mu   sync.Mutex // guards proj, applyBuf, log, and logDirty
 	proj *stream.SlidingProjector
+	// applyBuf is the service-owned staging batch: ingest clamps and
+	// filters caller batches into it (callers' slices are never mutated)
+	// and flushes it through one projector AddBatch per Apply or per
+	// coalesced queue drain.
+	applyBuf []graph.Comment
 	// log is the trailing-horizon comment ring Step 3 validates against
 	// (only when cfg.ValidateHypergraph).
 	log      []graph.Comment
@@ -329,13 +341,15 @@ func NewService(cfg Config) (*Service, error) {
 		exclude[id] = true
 	}
 	opts := projection.Options{Exclude: exclude}
-	var proj *stream.SlidingProjector
-	var err error
-	if len(cfg.Signals) > 0 {
-		proj, err = stream.NewMultiSlidingProjector(cfg.Signals, cfg.Horizon, opts, cfg.Shards)
-	} else {
-		proj, err = stream.NewSlidingProjectorShards(cfg.Window, cfg.Horizon, opts, cfg.Shards)
+	sigs := cfg.Signals
+	if len(sigs) == 0 {
+		sigs = []stream.SignalConfig{{Signal: projection.CoComment{W: cfg.Window}}}
 	}
+	workers := cfg.IngestWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	proj, err := stream.NewMultiSlidingProjectorWorkers(sigs, cfg.Horizon, opts, cfg.Shards, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -412,35 +426,63 @@ func (s *Service) Enqueue(batch []graph.Comment) error {
 }
 
 // Apply ingests a batch synchronously, bypassing the queue — the embedding
-// path for in-process pipelines and benchmarks. Concurrent-safe.
+// path for in-process pipelines and benchmarks. The caller's slice is not
+// mutated and not retained. Concurrent-safe.
 func (s *Service) Apply(batch []graph.Comment) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.gatherLocked(batch)
+	s.flushLocked()
+}
+
+// gatherLocked clamps (or drops) late comments from batch into the staging
+// buffer. The clamp watermark threads through the buffered tail, so
+// gathering N batches then flushing once is comment-for-comment identical
+// to N clamp-and-apply rounds. Caller holds s.mu.
+func (s *Service) gatherLocked(batch []graph.Comment) {
+	wm := s.proj.Watermark()
+	if n := len(s.applyBuf); n > 0 {
+		wm = s.applyBuf[n-1].TS
+	}
 	for _, c := range batch {
-		s.applyOne(c)
+		if c.TS < wm {
+			if !s.cfg.ClampLate {
+				s.dropped.Add(1)
+				continue
+			}
+			c.TS = wm
+			s.lateClamped.Add(1)
+		} else {
+			wm = c.TS
+		}
+		s.applyBuf = append(s.applyBuf, c)
 	}
 }
 
-// applyOne ingests one comment. Caller holds s.mu.
-func (s *Service) applyOne(c graph.Comment) {
-	if wm := s.proj.Watermark(); c.TS < wm {
-		if !s.cfg.ClampLate {
-			s.dropped.Add(1)
-			return
-		}
-		c.TS = wm
-		s.lateClamped.Add(1)
-	}
-	if err := s.proj.Add(c); err != nil {
-		s.dropped.Add(1)
+// flushLocked feeds the staging buffer through one projector batch
+// ingest, then settles counters and the validation log. Caller holds
+// s.mu. Gathering guarantees nondecreasing timestamps, so the projector
+// cannot reject — the count delta is still consulted rather than assumed,
+// and any shortfall lands in the dropped counter.
+func (s *Service) flushLocked() {
+	if len(s.applyBuf) == 0 {
 		return
 	}
-	s.ingested.Add(1)
+	before := s.proj.Count()
+	err := s.proj.AddBatch(s.applyBuf)
+	applied := int(s.proj.Count() - before)
+	s.ingested.Add(int64(applied))
+	if err != nil || applied < len(s.applyBuf) {
+		s.dropped.Add(int64(len(s.applyBuf) - applied))
+	}
 	if s.cfg.ValidateHypergraph {
-		s.log = append(s.log, c)
-		s.markHyperDirty(c.Author)
+		for _, c := range s.applyBuf[:applied] {
+			s.log = append(s.log, c)
+			s.markHyperDirty(c.Author)
+		}
 		s.evictLogLocked()
 	}
+	s.applyBuf = s.applyBuf[:0]
 }
 
 // markHyperDirty records that a's windowed comment set changed. Caller
@@ -470,24 +512,48 @@ func (s *Service) evictLogLocked() {
 	}
 }
 
+// maxCoalesce bounds how many comments the ingest worker folds into one
+// projector batch: big enough to amortize the per-batch eviction wave and
+// lane dispatch, small enough that a survey waiting on s.mu is not held
+// off indefinitely under sustained load.
+const maxCoalesce = 1 << 16
+
 func (s *Service) ingestLoop() {
 	defer s.wg.Done()
 	for {
 		select {
 		case batch := <-s.queue:
-			s.Apply(batch)
+			s.applyCoalesced(batch)
 		case <-s.quit:
 			// Drain whatever was accepted before the stop.
 			for {
 				select {
 				case batch := <-s.queue:
-					s.Apply(batch)
+					s.applyCoalesced(batch)
 				default:
 					return
 				}
 			}
 		}
 	}
+}
+
+// applyCoalesced applies batch plus whatever else is already queued (up
+// to maxCoalesce comments) as one projector batch under one lock hold.
+func (s *Service) applyCoalesced(batch []graph.Comment) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gatherLocked(batch)
+	for len(s.applyBuf) < maxCoalesce {
+		select {
+		case b := <-s.queue:
+			s.gatherLocked(b)
+		default:
+			s.flushLocked()
+			return
+		}
+	}
+	s.flushLocked()
 }
 
 func (s *Service) surveyLoop() {

@@ -1,12 +1,19 @@
 // HTTP/JSON API of the daemon:
 //
-//	POST /v1/ingest     — body: JSON array (or NDJSON stream) of
+//	POST /v1/ingest     — body: JSON array (or NDJSON stream, or any
+//	                      whitespace-separated mix of the two) of
 //	                      {"author":"x","page":"p","ts":1577836800}, each
 //	                      optionally carrying "urls", "tags" and
 //	                      "reply_to" signal attributes (used by the
 //	                      urlshare / hashtag / reply signals, dropped on a
-//	                      co-comment-only daemon). 202 {"accepted":n}; 429
-//	                      when the queue is full; 503 while shutting down.
+//	                      co-comment-only daemon). With Content-Type
+//	                      application/x-coordbot-frame the body is instead
+//	                      one binary frame built by wire.Encoder — same
+//	                      comments, no JSON escaping or parsing on either
+//	                      side. 202 {"accepted":n}; 400 on malformed input
+//	                      (a rejected batch interns nothing); 413 above 64
+//	                      MiB; 429 when the queue is full; 503 while
+//	                      shutting down.
 //	GET  /v1/triangles  — latest survey cycle. ?min_t=0.5 filters on the
 //	                      T score, ?limit=50 truncates.
 //	GET  /v1/score      — ?users=a,b,...: live P' counts for up to 512
@@ -37,18 +44,23 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"coordbot/internal/graph"
 	"coordbot/internal/hypergraph"
+	"coordbot/internal/interner"
+	"coordbot/internal/wire"
 )
 
 // maxIngestBody bounds one ingest request (64 MiB of JSON).
 const maxIngestBody = 64 << 20
 
-// CommentIn is the wire form of one comment. URLs, Tags, and ReplyTo are
-// optional signal attributes; they only matter when the daemon runs with
-// the matching non-default signals and are dropped otherwise.
+// CommentIn documents the JSON wire form of one ingested comment (the
+// endpoint itself decodes with the zero-copy wire.Scanner, not through
+// this struct). URLs, Tags, and ReplyTo are optional signal attributes;
+// they only matter when the daemon runs with the matching non-default
+// signals and are dropped otherwise.
 type CommentIn struct {
 	Author  string   `json:"author"`
 	Page    string   `json:"page"`
@@ -168,6 +180,63 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// ingestScratch pools the per-request decode state of the ingest fast
+// path: the body buffer, the zero-copy scanner (with its escape arena),
+// the decoded field views, and the batch-interning key/ID staging. None
+// of it escapes the request — only the final interned batch (fresh
+// allocations, since the queue and the validation log retain it) leaves.
+type ingestScratch struct {
+	body  []byte
+	scan  wire.Scanner
+	views []wire.Comment
+
+	authorK [][]byte
+	pageK   [][]byte
+	urlK    [][]byte
+	tagK    [][]byte
+	authorI []interner.ID
+	pageI   []interner.ID
+	urlI    []interner.ID
+	tagI    []interner.ID
+}
+
+var ingestPool = sync.Pool{New: func() any { return &ingestScratch{} }}
+
+func growIDs(s []interner.ID, n int) []interner.ID {
+	if cap(s) < n {
+		return make([]interner.ID, n)
+	}
+	return s[:n]
+}
+
+// errBodyTooLarge marks a request body over maxIngestBody (413, not 400:
+// the content may be perfectly well-formed).
+var errBodyTooLarge = fmt.Errorf("detectd: ingest body too large")
+
+// readBody reads r into buf (reused across requests) up to maxIngestBody.
+func readBody(r io.Reader, buf []byte) ([]byte, error) {
+	buf = buf[:0]
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 64<<10)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if len(buf) > maxIngestBody {
+			return buf, errBodyTooLarge
+		}
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
 func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST only")
@@ -177,134 +246,190 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "shutting down")
 		return
 	}
-	batch, err := decodeComments(io.LimitReader(r.Body, maxIngestBody))
+	sc := ingestPool.Get().(*ingestScratch)
+	defer ingestPool.Put(sc)
+	var err error
+	sc.body, err = readBody(r.Body, sc.body)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "decode: %v", err)
-		return
-	}
-	interned := make([]graph.Comment, len(batch))
-	for i, c := range batch {
-		if c.Author == "" || c.Page == "" {
-			writeErr(w, http.StatusBadRequest, "comment %d: empty author or page", i)
+		if errors.Is(err, errBodyTooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxIngestBody)
 			return
 		}
-		interned[i] = graph.Comment{
-			Author: s.authors.Intern(c.Author),
-			Page:   s.pageIDs.Intern(c.Page),
-			TS:     c.TS,
-		}
-		if len(c.URLs) > 0 || len(c.Tags) > 0 || c.ReplyTo != "" {
-			attrs := &graph.CommentAttrs{}
-			for _, u := range c.URLs {
-				attrs.URLs = append(attrs.URLs, s.urlIDs.Intern(u))
-			}
-			for _, tg := range c.Tags {
-				attrs.Tags = append(attrs.Tags, s.tagIDs.Intern(tg))
-			}
-			if c.ReplyTo != "" {
-				// Reply targets share the author ID space so reply objects
-				// stay meaningful across comments by the same target.
-				attrs.ReplyTo = s.authors.Intern(c.ReplyTo)
-				attrs.IsReply = true
-			}
-			interned[i].Attrs = attrs
-		}
+		writeErr(w, http.StatusBadRequest, "read: %v", err)
+		return
 	}
-	switch err := s.Enqueue(interned); {
+	batch, err := s.decodeBatch(r.Header.Get("Content-Type"), sc.body, sc)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	switch err := s.Enqueue(batch); {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests, "ingest queue full")
 	case errors.Is(err, ErrStopped):
 		writeErr(w, http.StatusServiceUnavailable, "shutting down")
 	default:
-		writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(interned)})
+		writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(batch)})
 	}
 }
 
-// decodeComments accepts either a JSON array of comment objects or an
-// NDJSON / concatenated-objects stream.
-func decodeComments(r io.Reader) ([]CommentIn, error) {
-	dec := json.NewDecoder(r)
-	tok, err := dec.Token()
+// IngestBytes decodes, validates, interns, and synchronously applies one
+// ingest body, bypassing HTTP transport and the queue — the embedding
+// equivalent of POST /v1/ingest and the path the ingest benchmarks
+// measure. contentType selects the decoder exactly as the endpoint does
+// (wire.ContentTypeFrame for binary frames, anything else for JSON).
+// Returns the number of comments applied.
+func (s *Service) IngestBytes(contentType string, body []byte) (int, error) {
+	sc := ingestPool.Get().(*ingestScratch)
+	defer ingestPool.Put(sc)
+	batch, err := s.decodeBatch(contentType, body, sc)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	var out []CommentIn
-	if d, ok := tok.(json.Delim); ok && d == '[' {
-		for dec.More() {
-			var c CommentIn
-			if err := dec.Decode(&c); err != nil {
-				return nil, err
-			}
-			out = append(out, c)
-		}
-		_, err = dec.Token() // closing ']'
-		return out, err
-	}
-	if d, ok := tok.(json.Delim); ok && d == '{' {
-		// Re-read the first object by hand: collect its fields until the
-		// matching '}' is consumed, then stream the rest.
-		var first CommentIn
-		if err := decodeObjectFields(dec, &first); err != nil {
-			return nil, err
-		}
-		out = append(out, first)
-		for {
-			var c CommentIn
-			if err := dec.Decode(&c); err == io.EOF {
-				return out, nil
-			} else if err != nil {
-				return nil, err
-			}
-			out = append(out, c)
-		}
-	}
-	return nil, fmt.Errorf("expected array or object stream, got %v", tok)
+	s.Apply(batch)
+	return len(batch), nil
 }
 
-// decodeObjectFields finishes decoding one comment object whose opening
-// '{' has already been consumed by the decoder.
-func decodeObjectFields(dec *json.Decoder, c *CommentIn) error {
-	for dec.More() {
-		keyTok, err := dec.Token()
+// decodeBatch turns one ingest body into an interned comment batch in
+// three strict stages: decode EVERY comment into zero-copy views,
+// validate EVERY view, and only then intern — so a rejected batch leaves
+// the author/page/url/tag tables exactly as it found them, and each
+// table's write lock is taken at most once per batch rather than once
+// per string. The returned batch is freshly allocated (callers retain
+// it); everything else lives in sc.
+func (s *Service) decodeBatch(contentType string, body []byte, sc *ingestScratch) ([]graph.Comment, error) {
+	var rd wire.Reader
+	isFrame := strings.HasPrefix(contentType, wire.ContentTypeFrame)
+	if isFrame {
+		f, err := wire.NewFrameScanner(body)
 		if err != nil {
-			return err
+			return nil, fmt.Errorf("decode: %v", err)
 		}
-		key, _ := keyTok.(string)
-		switch key {
-		case "author":
-			if err := dec.Decode(&c.Author); err != nil {
-				return err
-			}
-		case "page":
-			if err := dec.Decode(&c.Page); err != nil {
-				return err
-			}
-		case "ts":
-			if err := dec.Decode(&c.TS); err != nil {
-				return err
-			}
-		case "urls":
-			if err := dec.Decode(&c.URLs); err != nil {
-				return err
-			}
-		case "tags":
-			if err := dec.Decode(&c.Tags); err != nil {
-				return err
-			}
-		case "reply_to":
-			if err := dec.Decode(&c.ReplyTo); err != nil {
-				return err
-			}
-		default:
-			var skip json.RawMessage
-			if err := dec.Decode(&skip); err != nil {
-				return err
-			}
+		rd = f
+	} else {
+		sc.scan.Reset(body)
+		rd = &sc.scan
+	}
+	sc.views = sc.views[:0]
+	var c wire.Comment
+	for {
+		ok, err := rd.Next(&c)
+		if err != nil {
+			return nil, fmt.Errorf("decode: %v", err)
+		}
+		if !ok {
+			break
+		}
+		sc.views = append(sc.views, c)
+	}
+	if len(sc.views) == 0 {
+		if !isFrame && !hasJSONContent(body) {
+			return nil, fmt.Errorf("decode: empty body")
+		}
+		return nil, nil
+	}
+
+	// Validate the whole batch before interning anything.
+	nattrs, nurls, ntags := 0, 0, 0
+	for i := range sc.views {
+		v := &sc.views[i]
+		if len(v.Author) == 0 || len(v.Page) == 0 {
+			return nil, fmt.Errorf("comment %d: empty author or page", i)
+		}
+		if v.HasAttrs() {
+			nattrs++
+			nurls += len(v.URLs)
+			ntags += len(v.Tags)
 		}
 	}
-	_, err := dec.Token() // closing '}'
-	return err
+
+	// Stage the interning keys: authors and reply targets share the author
+	// ID space (reply objects stay meaningful across comments by the same
+	// target), in first-appearance order.
+	sc.authorK, sc.pageK = sc.authorK[:0], sc.pageK[:0]
+	sc.urlK, sc.tagK = sc.urlK[:0], sc.tagK[:0]
+	for i := range sc.views {
+		v := &sc.views[i]
+		sc.authorK = append(sc.authorK, v.Author)
+		sc.pageK = append(sc.pageK, v.Page)
+		if len(v.ReplyTo) > 0 {
+			sc.authorK = append(sc.authorK, v.ReplyTo)
+		}
+		sc.urlK = append(sc.urlK, v.URLs...)
+		sc.tagK = append(sc.tagK, v.Tags...)
+	}
+	sc.authorI = growIDs(sc.authorI, len(sc.authorK))
+	sc.pageI = growIDs(sc.pageI, len(sc.pageK))
+	sc.urlI = growIDs(sc.urlI, len(sc.urlK))
+	sc.tagI = growIDs(sc.tagI, len(sc.tagK))
+	s.authors.InternBatchBytes(sc.authorK, sc.authorI)
+	s.pageIDs.InternBatchBytes(sc.pageK, sc.pageI)
+	s.urlIDs.InternBatchBytes(sc.urlK, sc.urlI)
+	s.tagIDs.InternBatchBytes(sc.tagK, sc.tagI)
+
+	// Assemble the batch: one allocation each for the comments, the attrs
+	// structs, and the attr ID backing — nothing per comment.
+	comments := make([]graph.Comment, len(sc.views))
+	var attrsBuf []graph.CommentAttrs
+	var attrIDs []graph.VertexID
+	if nattrs > 0 {
+		attrsBuf = make([]graph.CommentAttrs, nattrs)
+		attrIDs = make([]graph.VertexID, nurls+ntags)
+	}
+	ak, uc, tc, ac, ic := 0, 0, 0, 0, 0
+	for i := range sc.views {
+		v := &sc.views[i]
+		comments[i] = graph.Comment{
+			Author: graph.VertexID(sc.authorI[ak]),
+			Page:   graph.VertexID(sc.pageI[i]),
+			TS:     v.TS,
+		}
+		ak++
+		hasReply := len(v.ReplyTo) > 0
+		if hasReply || len(v.URLs) > 0 || len(v.Tags) > 0 {
+			attrs := &attrsBuf[ac]
+			ac++
+			if n := len(v.URLs); n > 0 {
+				ids := attrIDs[ic : ic+n : ic+n]
+				for j := range ids {
+					ids[j] = graph.VertexID(sc.urlI[uc+j])
+				}
+				uc += n
+				ic += n
+				attrs.URLs = ids
+			}
+			if n := len(v.Tags); n > 0 {
+				ids := attrIDs[ic : ic+n : ic+n]
+				for j := range ids {
+					ids[j] = graph.VertexID(sc.tagI[tc+j])
+				}
+				tc += n
+				ic += n
+				attrs.Tags = ids
+			}
+			if hasReply {
+				attrs.ReplyTo = graph.VertexID(sc.authorI[ak])
+				ak++
+				attrs.IsReply = true
+			}
+			comments[i].Attrs = attrs
+		}
+	}
+	return comments, nil
+}
+
+// hasJSONContent distinguishes a deliberately empty batch ("[]") from an
+// empty or all-whitespace body (a client bug, rejected).
+func hasJSONContent(body []byte) bool {
+	for _, b := range body {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+		default:
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Service) handleTriangles(w http.ResponseWriter, r *http.Request) {

@@ -104,3 +104,98 @@ func TestQuickInternBijection(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestInternBytesMatchesIntern(t *testing.T) {
+	in := New(0)
+	a := in.InternBytes([]byte("alice"))
+	if got := in.Intern("alice"); got != a {
+		t.Fatalf("Intern = %d, InternBytes = %d", got, a)
+	}
+	if got := in.InternBytes([]byte("alice")); got != a {
+		t.Fatalf("repeat InternBytes = %d, want %d", got, a)
+	}
+	if in.Name(a) != "alice" {
+		t.Fatalf("Name = %q", in.Name(a))
+	}
+}
+
+func TestInternBatchBytesFirstAppearanceOrder(t *testing.T) {
+	// Batch interning must assign IDs exactly as a sequential Intern loop:
+	// dense, in first-appearance order, dupes within the batch collapsed.
+	keys := [][]byte{
+		[]byte("c"), []byte("a"), []byte("c"), []byte("b"), []byte("a"),
+	}
+	batch := New(0)
+	got := make([]ID, len(keys))
+	batch.InternBatchBytes(keys, got)
+
+	seq := New(0)
+	want := make([]ID, len(keys))
+	for i, k := range keys {
+		want[i] = seq.Intern(string(k))
+	}
+	for i := range keys {
+		if got[i] != want[i] {
+			t.Fatalf("key %d: batch id %d, sequential id %d", i, got[i], want[i])
+		}
+	}
+	if batch.Len() != seq.Len() {
+		t.Fatalf("Len: batch %d, sequential %d", batch.Len(), seq.Len())
+	}
+}
+
+func TestInternBatchBytesAfterPromotion(t *testing.T) {
+	in := New(0)
+	// Force at least one promotion so the lock-free hit path is exercised.
+	for i := 0; i < 500; i++ {
+		in.Intern(fmt.Sprintf("warm%d", i))
+	}
+	keys := make([][]byte, 0, 600)
+	for i := 0; i < 300; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("warm%d", i)))      // frozen hit
+		keys = append(keys, []byte(fmt.Sprintf("fresh%d", i%100))) // miss / dirty hit
+	}
+	out := make([]ID, len(keys))
+	in.InternBatchBytes(keys, out)
+	for i, k := range keys {
+		if in.Name(out[i]) != string(k) {
+			t.Fatalf("key %d (%s): got id %d = %q", i, k, out[i], in.Name(out[i]))
+		}
+	}
+}
+
+func TestConcurrentBatchAndReads(t *testing.T) {
+	in := New(0)
+	var wg sync.WaitGroup
+	const workers, rounds, batchN = 4, 50, 64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := make([][]byte, batchN)
+			out := make([]ID, batchN)
+			for r := 0; r < rounds; r++ {
+				for i := range keys {
+					keys[i] = []byte(fmt.Sprintf("k%d", (r*batchN+i)%512))
+				}
+				in.InternBatchBytes(keys, out)
+				for i := range keys {
+					if id, ok := in.Lookup(string(keys[i])); !ok || id != out[i] {
+						t.Errorf("lookup %s: %d/%v vs batch %d", keys[i], id, ok, out[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if in.Len() != 512 {
+		t.Fatalf("Len = %d, want 512", in.Len())
+	}
+	// All names must round-trip after the dust settles.
+	for i, name := range in.Names() {
+		if id, ok := in.Lookup(name); !ok || id != ID(i) {
+			t.Fatalf("name %q: id %d ok=%v, want %d", name, id, ok, i)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Property tests for shard-parallel batch ingest: a projector with
+// workers >= 2 consuming batches through the lane dispatcher must be
+// state-identical, at every batch boundary, to the serial reference path
+// consuming the same batches — graph, per-signal attribution, gauges,
+// and object-state GC alike — and its per-batch eviction waves must keep
+// the one-sorted-patch-per-edge-per-wave sink contract.
+package stream
+
+import (
+	"testing"
+
+	"coordbot/internal/graph"
+	"coordbot/internal/projection"
+	"coordbot/internal/redditgen"
+)
+
+func parallelTestSignals() []SignalConfig {
+	return []SignalConfig{
+		{Signal: projection.CoComment{W: projection.Window{Min: 0, Max: 60}}},
+		{Signal: projection.URLShare{W: projection.Window{Min: 0, Max: 300}}, Horizon: 2 * 3600},
+		{Signal: projection.ReplyTarget{W: projection.Window{Min: 0, Max: 120}}},
+	}
+}
+
+// batchesOf slices comments into varying-size batches: below, at, and
+// well above the parallel-dispatch threshold.
+func batchesOf(comments []graph.Comment) [][]graph.Comment {
+	sizes := []int{minParallelBatch - 1, 512, minParallelBatch, 3, 1024, 257}
+	var out [][]graph.Comment
+	for i, s := 0, 0; i < len(comments); s++ {
+		n := sizes[s%len(sizes)]
+		if i+n > len(comments) {
+			n = len(comments) - i
+		}
+		out = append(out, comments[i:i+n])
+		i += n
+	}
+	return out
+}
+
+func TestAddBatchParallelMatchesSerial(t *testing.T) {
+	ds := redditgen.Generate(redditgen.MultiSignalCampaign(0.05))
+	sigs := parallelTestSignals()
+	const horizon = 6 * 3600
+	opts := projection.Options{Exclude: ds.Helpers}
+
+	serial, err := NewMultiSlidingProjector(sigs, horizon, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewMultiSlidingProjectorWorkers(sigs, horizon, opts, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Workers() != 4 || len(par.lanes) < 2 {
+		t.Fatalf("parallel projector not parallel: workers=%d lanes=%d", par.Workers(), len(par.lanes))
+	}
+
+	for bi, batch := range batchesOf(ds.Comments) {
+		if err := serial.AddBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.AddBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if bi%7 != 0 {
+			continue
+		}
+		compareProjectors(t, bi, serial, par, sigs)
+	}
+	compareProjectors(t, -1, serial, par, sigs)
+	if par.EvictedPairs() == 0 {
+		t.Fatal("stream never evicted — horizons not exercised")
+	}
+
+	// Idle decay must drain the parallel projector completely too.
+	for _, p := range []*SlidingProjector{serial, par} {
+		if err := p.AdvanceTo(p.Watermark() + horizon + 1); err != nil {
+			t.Fatal(err)
+		}
+		if p.NumEdges() != 0 || p.LivePairs() != 0 || p.numObjectStates() != 0 {
+			t.Fatalf("after drain: %d edges, %d live pairs, %d object states",
+				p.NumEdges(), p.LivePairs(), p.numObjectStates())
+		}
+	}
+}
+
+func compareProjectors(t *testing.T, bi int, serial, par *SlidingProjector, sigs []SignalConfig) {
+	t.Helper()
+	if serial.Count() != par.Count() || serial.Watermark() != par.Watermark() {
+		t.Fatalf("batch %d: count/watermark diverged: serial (%d, %d), parallel (%d, %d)",
+			bi, serial.Count(), serial.Watermark(), par.Count(), par.Watermark())
+	}
+	ss, ps := serial.Snapshot(), par.Snapshot()
+	if !ss.Equal(ps) {
+		t.Fatalf("batch %d: parallel graph (%d edges) != serial graph (%d edges)",
+			bi, ps.NumEdges(), ss.NumEdges())
+	}
+	ss.ForEachEdge(func(u, v graph.VertexID, w uint32) bool {
+		sw, pw := serial.SignalWeights(u, v), par.SignalWeights(u, v)
+		for si := range sigs {
+			if sw[si] != pw[si] {
+				t.Fatalf("batch %d edge {%d,%d} signal %s: serial %d, parallel %d",
+					bi, u, v, sigs[si].Signal.Name(), sw[si], pw[si])
+			}
+		}
+		return true
+	})
+	if s, p := serial.LivePairs(), par.LivePairs(); s != p {
+		t.Fatalf("batch %d: live pairs diverged: serial %d, parallel %d", bi, s, p)
+	}
+	if s, p := serial.EvictedPairs(), par.EvictedPairs(); s != p {
+		t.Fatalf("batch %d: evicted pairs diverged: serial %d, parallel %d", bi, s, p)
+	}
+	if s, p := serial.BufferedComments(), par.BufferedComments(); s != p {
+		t.Fatalf("batch %d: buffered comments diverged: serial %d, parallel %d", bi, s, p)
+	}
+	if s, p := serial.numObjectStates(), par.numObjectStates(); s != p {
+		t.Fatalf("batch %d: object states diverged: serial %d, parallel %d", bi, s, p)
+	}
+}
+
+// TestAddBatchParallelPatchSink: on the parallel path every batch's
+// evictions land as ONE wave, so the sink must see, per AddBatch call,
+// sorted patches with at most one entry per edge whose New value is
+// exactly the edge's post-batch total.
+func TestAddBatchParallelPatchSink(t *testing.T) {
+	ds := redditgen.Generate(redditgen.MultiSignalCampaign(0.04))
+	sigs := parallelTestSignals()
+	p, err := NewMultiSlidingProjectorWorkers(sigs, 2*3600, projection.Options{Exclude: ds.Helpers}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pending [][]graph.EdgePatch
+	p.SetEvictionPatchSink(func(batch []graph.EdgePatch) {
+		cp := make([]graph.EdgePatch, len(batch))
+		copy(cp, batch)
+		pending = append(pending, cp)
+	})
+	waves := 0
+	for _, batch := range batchesOf(ds.Comments) {
+		pending = pending[:0]
+		if err := p.AddBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		// Batches under the dispatch threshold run the serial fallback
+		// (one wave per watermark advance, additions interleaved); the
+		// parallel path applies exactly one wave after all additions, so
+		// there each patch's New is the edge's settled post-batch weight.
+		parallelPath := len(batch) >= minParallelBatch
+		if parallelPath && len(pending) > 1 {
+			t.Fatalf("parallel batch emitted %d waves, want at most 1", len(pending))
+		}
+		for _, wavePatches := range pending {
+			waves++
+			seen := make(map[uint64]bool, len(wavePatches))
+			for i, pt := range wavePatches {
+				key := graph.PackEdge(pt.U, pt.V)
+				if seen[key] {
+					t.Fatalf("edge {%d,%d} patched twice in one wave", pt.U, pt.V)
+				}
+				seen[key] = true
+				if i > 0 {
+					prev := wavePatches[i-1]
+					if prev.U > pt.U || (prev.U == pt.U && prev.V >= pt.V) {
+						t.Fatalf("wave not sorted at %d: {%d,%d} after {%d,%d}", i, pt.U, pt.V, prev.U, prev.V)
+					}
+				}
+				if pt.New >= pt.Old {
+					t.Fatalf("eviction patch {%d,%d} does not decrement: %d -> %d", pt.U, pt.V, pt.Old, pt.New)
+				}
+				if got := p.EdgeWeight(pt.U, pt.V); parallelPath && got != pt.New {
+					t.Fatalf("edge {%d,%d}: patch closed at %d but live weight is %d", pt.U, pt.V, pt.New, got)
+				}
+			}
+		}
+	}
+	if waves == 0 {
+		t.Fatal("no eviction waves reached the sink")
+	}
+}
+
+// TestAddBatchOutOfOrderStopsAtOffender: an out-of-order comment inside a
+// parallel batch must return an error AND leave the projector in exactly
+// the state of the serial path fed the valid prefix.
+func TestAddBatchOutOfOrderStopsAtOffender(t *testing.T) {
+	ds := redditgen.Generate(redditgen.MultiSignalCampaign(0.05))
+	sigs := parallelTestSignals()
+	n := 600
+	batch := make([]graph.Comment, n)
+	copy(batch, ds.Comments[:n])
+	batch[400].TS = batch[399].TS - 10_000 // regress mid-batch
+
+	par, err := NewMultiSlidingProjectorWorkers(sigs, 6*3600, projection.Options{}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := par.AddBatch(batch); err == nil {
+		t.Fatal("out-of-order batch accepted")
+	}
+	serial, err := NewMultiSlidingProjector(sigs, 6*3600, projection.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.AddAll(batch[:400]); err != nil {
+		t.Fatal(err)
+	}
+	compareProjectors(t, 0, serial, par, sigs)
+
+	// The projector remains usable: the stream may resume at the watermark.
+	if err := par.Add(graph.Comment{Author: 1, Page: 2, TS: par.Watermark()}); err != nil {
+		t.Fatalf("resume after out-of-order batch: %v", err)
+	}
+}

@@ -8,7 +8,7 @@
 // The projector is signal-pluggable: it fans every comment out to one or
 // more projection.Signals (co-commenting by default; URL co-sharing,
 // hashtag overlap, reply targeting, time-bucket synchrony optionally),
-// each with its own object states, expiry heaps, delay window, and
+// each with its own object states, expiry rings, delay window, and
 // trailing horizon, all merged into ONE sharded CI store with per-signal
 // weight attribution when two or more signals run.
 //
@@ -27,20 +27,35 @@
 //
 // Mechanics: per (signal, object), live[pair] records the newest "older
 // comment" timestamp supporting that pair; the pair's contribution dies
-// when that timestamp leaves the signal's horizon. Per-signal lazy
-// min-heaps of (timestamp, object, pair) entries drive eviction in
-// O(log n) amortized per support, with stale entries (superseded by a
-// fresher support) skipped on pop. All signals' expired contributions in
-// one watermark advance land as a single shard-grouped eviction wave, so
-// each touched shard's dirty version advances once per wave — the unit
-// the delta surveys and patch consumers count on — and patches report
-// total-weight transitions only (each edge at most once per wave, no
-// matter how many signals decremented it).
+// when that timestamp leaves the signal's horizon. Expiry is driven by
+// per-(signal, lane) calendar rings (expiryRing) of (timestamp, object,
+// pair) entries — O(1) push, batch drain — with stale entries (superseded
+// by a fresher support) skipped on pop. All signals' expired
+// contributions in one watermark advance land as a single shard-grouped
+// eviction wave, so each touched shard's dirty version advances once per
+// wave — the unit the delta surveys and patch consumers count on — and
+// patches report total-weight transitions only (each edge at most once
+// per wave, no matter how many signals decremented it).
+//
+// Ingest parallelism: all mutable sliding state is keyed by (signal,
+// object), so the object space is striped into lanes by the same
+// splitmix64 mix the sharded store uses for vertices. The serial Add
+// path routes through the lanes one comment at a time; AddBatch with
+// workers >= 2 dispatches a whole time-ordered batch into per-lane task
+// queues and processes the lanes concurrently — each lane is an
+// independent serial projector over its own objects, incrementing the
+// (concurrent-writer-safe) store directly and deferring its eviction
+// decrements to a lane-local wave. After the join, the lane waves merge
+// into one batch-wide eviction wave applied centrally, preserving the
+// one-patch-per-edge-per-wave contract. The final graph, gauges, and
+// per-object states are identical to the serial path; only the
+// wave granularity (one per batch instead of one per watermark advance)
+// and thus the store's version-counter arithmetic differ.
 package stream
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
 
 	"coordbot/internal/graph"
 	"coordbot/internal/projection"
@@ -55,18 +70,19 @@ type SignalConfig struct {
 
 // SlidingProjector maintains the CI graph of the trailing horizon of a
 // time-ordered comment stream. Create with NewSlidingProjector (single
-// default signal) or NewMultiSlidingProjector; feed with Add (or advance
-// idle time with AdvanceTo); read with Snapshot; finalize with Result.
+// default signal) or NewMultiSlidingProjector; feed with Add, AddBatch,
+// or AddAll (or advance idle time with AdvanceTo); read with Snapshot;
+// finalize with Result.
 //
 // The live graph is a sharded store (graph.ShardedCI) so Snapshot is
 // copy-on-write: O(shards) per call, with dirty shards recopied lazily by
-// the next Add that touches them. Mutators (Add, AddAll, AdvanceTo,
-// Result) are single-writer — wrap with a lock (detectd does) or shard by
-// page upstream. The point reads EdgeWeight, PageCount, NumEdges, and
-// GraphVersion go through the store's per-shard locks and are safe
-// concurrently with the single writer.
+// the next Add that touches them. Mutators (Add, AddAll, AddBatch,
+// AdvanceTo, Result) are single-caller — wrap with a lock (detectd does)
+// or shard by page upstream; AddBatch parallelizes internally. The point
+// reads EdgeWeight, PageCount, NumEdges, and GraphVersion go through the
+// store's per-shard locks and are safe concurrently with the mutators.
 type SlidingProjector struct {
-	sigs    []*sigState
+	sigs    []*sigMeta
 	horizon int64 // default trailing horizon (per-signal states hold their own)
 	opts    projection.Options
 
@@ -75,36 +91,71 @@ type SlidingProjector struct {
 	// eviction waves carry per-signal decrements.
 	track bool
 
+	// lanes stripe the object space; laneMask is len(lanes)-1. With
+	// workers <= 1 there is a single lane and batch ingest is the serial
+	// reference path.
+	lanes    []lane
+	laneMask uint64
+	workers  int
+
 	lastTS   int64
 	started  bool
 	finished bool
 	count    int64
+
+	// wave is the reusable merged eviction-wave scratch, routed to shards
+	// via the shard* scratch below (applyWave).
+	wave       wave
+	shardEdges []map[uint64]uint32
+	shardSig   [][]map[uint64]uint32
+	shardPages []map[graph.VertexID]uint32
+	touched    []int
+	pageOnly   []int
 
 	// patchSink, when set, receives every eviction wave's edge transitions
 	// as one sorted patch batch (SetEvictionPatchSink).
 	patchSink func([]graph.EdgePatch)
 }
 
-// sigState is one signal's private projection state: its object states,
-// expiry heaps, and gauges. si indexes the store's breakdown.
-type sigState struct {
+// sigMeta is one signal's immutable configuration plus the dispatcher's
+// extraction scratch. Mutable projection state lives in the lanes.
+type sigMeta struct {
 	sig     projection.Signal
 	si      int
 	w       projection.Window
 	weight  uint32
 	horizon int64
+	// objbuf is the reusable extractor scratch (dispatcher-only).
+	objbuf []graph.VertexID
+}
 
+// lane is one stripe of the object space: per-signal object states and
+// expiry rings, a batch-mode task queue, and a lane-local eviction wave.
+type lane struct {
+	sig  []sigLane
+	pend []laneTask
+	wave wave
+}
+
+// sigLane is one (signal, lane) cell of mutable projection state.
+type sigLane struct {
 	objects map[graph.VertexID]*slidingPage
-	exp     expiryHeap
+	exp     expiryRing
 	// idle schedules object-state GC: an object whose newest comment has
 	// left the pairing window and that holds no live pairs is dropped, so
 	// quiet objects cost nothing (key is unused in idle entries).
-	idle expiryHeap
+	idle expiryRing
 
 	live    int64
 	evicted int64
-	// objbuf is the reusable extractor scratch.
-	objbuf []graph.VertexID
+}
+
+// laneTask is one dispatched (signal, object) engagement.
+type laneTask struct {
+	obj    graph.VertexID
+	author graph.VertexID
+	ts     int64
+	si     int32
 }
 
 type slidingPage struct {
@@ -121,25 +172,59 @@ type slidingPage struct {
 	lastTS int64
 }
 
-// expiryEntry schedules one support for lazy expiry at oldTS + horizon.
-type expiryEntry struct {
-	oldTS int64
-	page  graph.VertexID
-	key   uint64
+// wave accumulates one eviction wave's decrements: total per edge,
+// per-signal shares (multi-signal projectors only), and page counts.
+// Waves are recycled with clear(), so steady-state eviction allocates
+// nothing.
+type wave struct {
+	edges map[uint64]uint32
+	sig   []map[uint64]uint32
+	pages map[graph.VertexID]uint32
 }
 
-type expiryHeap []expiryEntry
+func (w *wave) init(nsig int, track bool) {
+	w.edges = make(map[uint64]uint32)
+	w.pages = make(map[graph.VertexID]uint32)
+	if track {
+		w.sig = make([]map[uint64]uint32, nsig)
+		for i := range w.sig {
+			w.sig[i] = make(map[uint64]uint32)
+		}
+	}
+}
 
-func (h expiryHeap) Len() int           { return len(h) }
-func (h expiryHeap) Less(i, j int) bool { return h[i].oldTS < h[j].oldTS }
-func (h expiryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *expiryHeap) Push(x any)        { *h = append(*h, x.(expiryEntry)) }
-func (h *expiryHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+func (w *wave) empty() bool { return len(w.edges) == 0 && len(w.pages) == 0 }
+
+func (w *wave) reset() {
+	clear(w.edges)
+	clear(w.pages)
+	for _, m := range w.sig {
+		clear(m)
+	}
+}
+
+// merge folds src into w (batch mode: lane waves into the batch wave).
+func (w *wave) merge(src *wave) {
+	for k, n := range src.edges {
+		w.edges[k] += n
+	}
+	for v, n := range src.pages {
+		w.pages[v] += n
+	}
+	for si, m := range src.sig {
+		for k, n := range m {
+			w.sig[si][k] += n
+		}
+	}
+}
+
+// mix64 is the splitmix64 finalizer — the same striping the sharded
+// store uses — so lane assignment spreads adjacent IDs.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // NewSlidingProjector creates a sliding projector for window w over a
@@ -169,6 +254,15 @@ func NewSlidingProjectorShards(w projection.Window, horizon int64, opts projecti
 // projector; with two or more signals the store attributes every edge's
 // weight per signal (graph.NewShardedCISignals).
 func NewMultiSlidingProjector(sigs []SignalConfig, horizon int64, opts projection.Options, shards int) (*SlidingProjector, error) {
+	return NewMultiSlidingProjectorWorkers(sigs, horizon, opts, shards, 1)
+}
+
+// NewMultiSlidingProjectorWorkers is NewMultiSlidingProjector with an
+// ingest parallelism degree: AddBatch dispatches batches across
+// object-striped lanes processed by up to `workers` goroutines. workers
+// <= 1 keeps the single-lane serial reference path. The projected graph
+// is identical either way; see the package comment.
+func NewMultiSlidingProjectorWorkers(sigs []SignalConfig, horizon int64, opts projection.Options, shards, workers int) (*SlidingProjector, error) {
 	ss := make([]projection.Signal, len(sigs))
 	for i, sc := range sigs {
 		ss[i] = sc.Signal
@@ -176,12 +270,25 @@ func NewMultiSlidingProjector(sigs []SignalConfig, horizon int64, opts projectio
 	if err := projection.ValidateSignals(ss); err != nil {
 		return nil, err
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	nlanes := 1
+	if workers > 1 {
+		// Oversubscribe lanes 2x over workers so stragglers balance.
+		for nlanes < workers*2 && nlanes < 64 {
+			nlanes <<= 1
+		}
+	}
 	p := &SlidingProjector{
-		sigs:    make([]*sigState, len(sigs)),
-		horizon: horizon,
-		opts:    opts,
-		g:       graph.NewShardedCISignals(shards, len(sigs)),
-		track:   len(sigs) >= 2,
+		sigs:     make([]*sigMeta, len(sigs)),
+		horizon:  horizon,
+		opts:     opts,
+		g:        graph.NewShardedCISignals(shards, len(sigs)),
+		track:    len(sigs) >= 2,
+		lanes:    make([]lane, nlanes),
+		laneMask: uint64(nlanes - 1),
+		workers:  workers,
 	}
 	for i, sc := range sigs {
 		h := sc.Horizon
@@ -191,16 +298,39 @@ func NewMultiSlidingProjector(sigs []SignalConfig, horizon int64, opts projectio
 		if h <= 0 {
 			return nil, fmt.Errorf("stream: signal %q: non-positive horizon %d", sc.Signal.Name(), h)
 		}
-		p.sigs[i] = &sigState{
+		p.sigs[i] = &sigMeta{
 			sig:     sc.Signal,
 			si:      i,
 			w:       sc.Signal.Window(),
 			weight:  sc.Signal.Weight(),
 			horizon: h,
-			objects: make(map[graph.VertexID]*slidingPage),
 		}
 	}
+	for li := range p.lanes {
+		ln := &p.lanes[li]
+		ln.sig = make([]sigLane, len(sigs))
+		for si, m := range p.sigs {
+			ln.sig[si] = sigLane{
+				objects: make(map[graph.VertexID]*slidingPage),
+				exp:     newExpiryRing(m.horizon),
+				idle:    newExpiryRing(m.w.Max),
+			}
+		}
+		ln.wave.init(len(sigs), p.track)
+	}
+	p.wave.init(len(sigs), p.track)
+	ns := p.g.NumShards()
+	p.shardEdges = make([]map[uint64]uint32, ns)
+	p.shardSig = make([][]map[uint64]uint32, ns)
+	p.shardPages = make([]map[graph.VertexID]uint32, ns)
 	return p, nil
+}
+
+func (p *SlidingProjector) laneOf(obj graph.VertexID) *lane {
+	if p.laneMask == 0 {
+		return &p.lanes[0]
+	}
+	return &p.lanes[mix64(uint64(obj))&p.laneMask]
 }
 
 // Count returns the number of comments consumed.
@@ -210,20 +340,27 @@ func (p *SlidingProjector) Count() int64 { return p.count }
 // largest timestamp seen by Add/AdvanceTo; 0 before the first).
 func (p *SlidingProjector) Watermark() int64 { return p.lastTS }
 
+// Workers returns the configured ingest parallelism degree.
+func (p *SlidingProjector) Workers() int { return p.workers }
+
 // LivePairs returns the number of (signal, object, pair) contributions
 // currently in the graph; EvictedPairs the cumulative number aged out.
 func (p *SlidingProjector) LivePairs() int64 {
 	var n int64
-	for _, st := range p.sigs {
-		n += st.live
+	for li := range p.lanes {
+		for si := range p.lanes[li].sig {
+			n += p.lanes[li].sig[si].live
+		}
 	}
 	return n
 }
 
 func (p *SlidingProjector) EvictedPairs() int64 {
 	var n int64
-	for _, st := range p.sigs {
-		n += st.evicted
+	for li := range p.lanes {
+		for si := range p.lanes[li].sig {
+			n += p.lanes[li].sig[si].evicted
+		}
 	}
 	return n
 }
@@ -234,8 +371,8 @@ func (p *SlidingProjector) Horizon() int64 { return p.horizon }
 // Signals returns the configured signals in breakdown order.
 func (p *SlidingProjector) Signals() []projection.Signal {
 	out := make([]projection.Signal, len(p.sigs))
-	for i, st := range p.sigs {
-		out[i] = st.sig
+	for i, m := range p.sigs {
+		out[i] = m.sig
 	}
 	return out
 }
@@ -254,16 +391,20 @@ type SignalStat struct {
 // SignalStats returns per-signal gauges in breakdown order.
 func (p *SlidingProjector) SignalStats() []SignalStat {
 	out := make([]SignalStat, len(p.sigs))
-	for i, st := range p.sigs {
-		out[i] = SignalStat{
-			Name:         st.sig.Name(),
-			Window:       st.w,
-			Horizon:      st.horizon,
-			Weight:       st.weight,
-			LivePairs:    st.live,
-			EvictedPairs: st.evicted,
-			LiveObjects:  len(st.objects),
+	for i, m := range p.sigs {
+		st := SignalStat{
+			Name:    m.sig.Name(),
+			Window:  m.w,
+			Horizon: m.horizon,
+			Weight:  m.weight,
 		}
+		for li := range p.lanes {
+			sl := &p.lanes[li].sig[i]
+			st.LivePairs += sl.live
+			st.EvictedPairs += sl.evicted
+			st.LiveObjects += len(sl.objects)
+		}
+		out[i] = st
 	}
 	return out
 }
@@ -303,15 +444,16 @@ func (p *SlidingProjector) Add(c graph.Comment) error {
 	p.started = true
 	p.lastTS = c.TS
 	p.count++
-	p.evictExpired()
+	p.evictAll(c.TS)
 
 	if p.skip(c.Author) {
 		return nil
 	}
-	for _, st := range p.sigs {
-		st.objbuf = projection.DedupeObjects(st.sig.AppendObjects(c, st.objbuf[:0]))
-		for _, obj := range st.objbuf {
-			p.addToObject(st, obj, c)
+	for _, m := range p.sigs {
+		m.objbuf = projection.DedupeObjects(m.sig.AppendObjects(c, m.objbuf[:0]))
+		for _, obj := range m.objbuf {
+			ln := p.laneOf(obj)
+			p.addToObject(&ln.sig[m.si], m, obj, c.Author, c.TS)
 		}
 	}
 	return nil
@@ -320,19 +462,21 @@ func (p *SlidingProjector) Add(c graph.Comment) error {
 // addToObject runs the windowed pairing of one (signal, object)
 // engagement: pair the comment against the object's buffered trailing-δ2
 // comments, count fresh pairs into the store with the signal's weight and
-// attribution, refresh leases on already-counted pairs.
-func (p *SlidingProjector) addToObject(st *sigState, obj graph.VertexID, c graph.Comment) {
-	ps := st.objects[obj]
+// attribution, refresh leases on already-counted pairs. Safe for
+// concurrent callers on DIFFERENT lanes: lane state is exclusive to the
+// caller and the store mutators take per-shard locks.
+func (p *SlidingProjector) addToObject(sl *sigLane, m *sigMeta, obj graph.VertexID, author graph.VertexID, ts int64) {
+	ps := sl.objects[obj]
 	if ps == nil {
 		ps = &slidingPage{
 			live:     make(map[uint64]int64),
 			incident: make(map[graph.VertexID]int),
 		}
-		st.objects[obj] = ps
+		sl.objects[obj] = ps
 	}
 
 	// Evict buffered comments that can no longer pair: t_new - t_old < w.Max.
-	for ps.start < len(ps.buf) && c.TS-ps.buf[ps.start].TS >= st.w.Max {
+	for ps.start < len(ps.buf) && ts-ps.buf[ps.start].TS >= m.w.Max {
 		ps.start++
 	}
 	if ps.start > 64 && ps.start*2 > len(ps.buf) {
@@ -342,43 +486,44 @@ func (p *SlidingProjector) addToObject(st *sigState, obj graph.VertexID, c graph
 
 	for i := ps.start; i < len(ps.buf); i++ {
 		old := ps.buf[i]
-		d := c.TS - old.TS
-		if d < st.w.Min || old.Author == c.Author {
+		d := ts - old.TS
+		if d < m.w.Min || old.Author == author {
 			continue
 		}
-		if d >= st.horizon {
+		if d >= m.horizon {
 			// Support already outside the horizon (horizon < w.Max):
 			// counting it would create a contribution born dead.
 			continue
 		}
-		key := graph.PackEdge(old.Author, c.Author)
+		key := graph.PackEdge(old.Author, author)
 		if prev, ok := ps.live[key]; ok {
 			// Pair already counted for this object: refresh its lease.
 			if old.TS > prev {
 				ps.live[key] = old.TS
-				heap.Push(&st.exp, expiryEntry{oldTS: old.TS, page: obj, key: key})
+				sl.exp.push(expiryEntry{oldTS: old.TS, page: obj, key: key})
 			}
 			continue
 		}
 		ps.live[key] = old.TS
-		heap.Push(&st.exp, expiryEntry{oldTS: old.TS, page: obj, key: key})
-		p.g.AddEdgeWeightSig(old.Author, c.Author, st.weight, st.si)
-		st.live++
-		for _, a := range [2]graph.VertexID{old.Author, c.Author} {
+		sl.exp.push(expiryEntry{oldTS: old.TS, page: obj, key: key})
+		p.g.AddEdgeWeightSig(old.Author, author, m.weight, m.si)
+		sl.live++
+		for _, a := range [2]graph.VertexID{old.Author, author} {
 			if ps.incident[a] == 0 {
 				p.g.AddPageCount(a, 1)
 			}
 			ps.incident[a]++
 		}
 	}
-	ps.buf = append(ps.buf, graph.AuthorTime{Author: c.Author, TS: c.TS})
-	if ps.lastTS < c.TS || len(ps.buf) == 1 {
-		heap.Push(&st.idle, expiryEntry{oldTS: c.TS, page: obj})
+	ps.buf = append(ps.buf, graph.AuthorTime{Author: author, TS: ts})
+	if ps.lastTS < ts || len(ps.buf) == 1 {
+		sl.idle.push(expiryEntry{oldTS: ts, page: obj})
 	}
-	ps.lastTS = c.TS
+	ps.lastTS = ts
 }
 
-// AddAll consumes a time-ordered batch.
+// AddAll consumes a time-ordered batch one comment at a time (the serial
+// reference path; AddBatch is the parallel equivalent).
 func (p *SlidingProjector) AddAll(comments []graph.Comment) error {
 	for _, c := range comments {
 		if err := p.Add(c); err != nil {
@@ -386,6 +531,96 @@ func (p *SlidingProjector) AddAll(comments []graph.Comment) error {
 		}
 	}
 	return nil
+}
+
+// minParallelBatch is the batch size below which AddBatch falls back to
+// the serial path: dispatch overhead dominates tiny batches.
+const minParallelBatch = 64
+
+// AddBatch consumes a time-ordered batch. The batch is dispatched to
+// object-striped lanes — processed concurrently with workers >= 2,
+// inline otherwise — and all of the batch's evictions land as ONE merged
+// wave at the batch's final watermark: state-identical to the serial
+// path at every batch boundary, with the same
+// one-patch-per-edge-per-wave sink contract, but with the store-delta
+// application amortized over the whole batch instead of paid per
+// watermark advance. An out-of-order comment stops dispatch at that
+// comment: everything before it is applied, and the error is returned
+// after the joined lanes are consistent.
+func (p *SlidingProjector) AddBatch(batch []graph.Comment) error {
+	if len(batch) < minParallelBatch {
+		return p.AddAll(batch)
+	}
+	if p.finished {
+		return ErrAddAfterResult
+	}
+	var err error
+	for i := range batch {
+		c := &batch[i]
+		if p.started && c.TS < p.lastTS {
+			err = fmt.Errorf("stream: out-of-order comment at t=%d after t=%d", c.TS, p.lastTS)
+			break
+		}
+		p.started = true
+		p.lastTS = c.TS
+		p.count++
+		if p.skip(c.Author) {
+			continue
+		}
+		for _, m := range p.sigs {
+			m.objbuf = projection.DedupeObjects(m.sig.AppendObjects(*c, m.objbuf[:0]))
+			for _, obj := range m.objbuf {
+				ln := p.laneOf(obj)
+				ln.pend = append(ln.pend, laneTask{obj: obj, author: c.Author, ts: c.TS, si: int32(m.si)})
+			}
+		}
+	}
+	if !p.started {
+		return err
+	}
+	wm := p.lastTS
+	if p.workers <= 1 || len(p.lanes) == 1 {
+		for li := range p.lanes {
+			p.processLane(&p.lanes[li], wm)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for k := 0; k < p.workers; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				for li := k; li < len(p.lanes); li += p.workers {
+					p.processLane(&p.lanes[li], wm)
+				}
+			}(k)
+		}
+		wg.Wait()
+	}
+	for li := range p.lanes {
+		p.wave.merge(&p.lanes[li].wave)
+		p.lanes[li].wave.reset()
+	}
+	if !p.wave.empty() {
+		p.applyWave(&p.wave)
+		p.wave.reset()
+	}
+	return err
+}
+
+// processLane replays one lane's dispatched engagements in stream order,
+// evicting the lane up to each task's timestamp before pairing (exactly
+// the serial interleaving restricted to this lane's objects), then
+// evicts to the batch watermark so lanes without trailing tasks decay
+// too. Store increments go directly to the sharded store; decrements
+// accumulate in the lane wave for the post-join merge.
+func (p *SlidingProjector) processLane(ln *lane, wm int64) {
+	for i := range ln.pend {
+		t := &ln.pend[i]
+		p.evictLane(ln, t.ts, &ln.wave)
+		p.addToObject(&ln.sig[t.si], p.sigs[t.si], t.obj, t.author, t.ts)
+	}
+	ln.pend = ln.pend[:0]
+	p.evictLane(ln, wm, &ln.wave)
 }
 
 // AdvanceTo moves event time forward to ts without ingesting a comment,
@@ -401,124 +636,116 @@ func (p *SlidingProjector) AdvanceTo(ts int64) error {
 	}
 	p.started = true
 	p.lastTS = ts
-	p.evictExpired()
+	p.evictAll(ts)
 	return nil
 }
 
-// evictExpired withdraws, for every signal, each contribution whose
+// evictAll drains every lane up to watermark wm and applies the merged
+// wave (the serial path's once-per-advance wave).
+func (p *SlidingProjector) evictAll(wm int64) {
+	for li := range p.lanes {
+		p.evictLane(&p.lanes[li], wm, &p.wave)
+	}
+	if !p.wave.empty() {
+		p.applyWave(&p.wave)
+		p.wave.reset()
+	}
+}
+
+// evictLane withdraws, for every signal, this lane's contributions whose
 // newest support has aged past that signal's horizon (timestamp <=
-// watermark - horizon). Heap entries superseded by a fresher support are
-// recognized (stored timestamp mismatch) and skipped. Store updates are
-// shard-grouped across ALL signals: the wave's total edge decrements,
-// per-signal shares, and page decrements accumulate locally and land via
-// applyEvictions, which takes each owning shard's lock once per wave —
-// not once per expired pair — and advances each touched shard's dirty
-// version once, giving the delta survey one coherent dirty unit per
-// watermark advance.
-func (p *SlidingProjector) evictExpired() {
-	var edgeDec map[uint64]uint32
-	var sigDec []map[uint64]uint32
-	var pageDec map[graph.VertexID]uint32
-	for _, st := range p.sigs {
-		cutoff := p.lastTS - st.horizon
-		for len(st.exp) > 0 && st.exp[0].oldTS <= cutoff {
-			e := heap.Pop(&st.exp).(expiryEntry)
-			ps := st.objects[e.page]
+// wm - horizon), accumulating the decrements into w. Ring entries
+// superseded by a fresher support are recognized (stored timestamp
+// mismatch) and skipped. It then GCs idle object states.
+func (p *SlidingProjector) evictLane(ln *lane, wm int64, w *wave) {
+	for si := range ln.sig {
+		sl := &ln.sig[si]
+		m := p.sigs[si]
+		cutoff := wm - m.horizon
+		sl.exp.drain(cutoff, func(e expiryEntry) {
+			ps := sl.objects[e.page]
 			if ps == nil {
-				continue
+				return
 			}
 			ts, ok := ps.live[e.key]
 			if !ok || ts != e.oldTS {
-				continue // stale entry: refreshed or already gone
+				return // stale entry: refreshed or already gone
 			}
 			delete(ps.live, e.key)
-			if edgeDec == nil {
-				edgeDec = make(map[uint64]uint32)
-				pageDec = make(map[graph.VertexID]uint32)
-				if p.track {
-					sigDec = make([]map[uint64]uint32, len(p.sigs))
-				}
-			}
-			edgeDec[e.key] += st.weight
+			w.edges[e.key] += m.weight
 			if p.track {
-				if sigDec[st.si] == nil {
-					sigDec[st.si] = make(map[uint64]uint32)
-				}
-				sigDec[st.si][e.key] += st.weight
+				w.sig[si][e.key] += m.weight
 			}
-			st.live--
-			st.evicted++
+			sl.live--
+			sl.evicted++
 			u, v := graph.UnpackEdge(e.key)
 			for _, a := range [2]graph.VertexID{u, v} {
 				ps.incident[a]--
 				if ps.incident[a] == 0 {
 					delete(ps.incident, a)
-					pageDec[a]++
+					w.pages[a]++
 				}
 			}
 			// Buffered comments older than w.Max behind the watermark can
 			// never pair again; once none remain and no pair is live, the
 			// object state is dead.
-			for ps.start < len(ps.buf) && p.lastTS-ps.buf[ps.start].TS >= st.w.Max {
+			for ps.start < len(ps.buf) && wm-ps.buf[ps.start].TS >= m.w.Max {
 				ps.start++
 			}
 			if len(ps.live) == 0 && ps.start >= len(ps.buf) {
-				delete(st.objects, e.page)
+				delete(sl.objects, e.page)
 			}
-		}
-	}
-	if edgeDec != nil {
-		p.applyEvictions(edgeDec, sigDec, pageDec)
-	}
+		})
 
-	// Idle-object GC: objects whose newest comment left the pairing window
-	// and that carry no live pairs (single-commenter objects, or objects
-	// whose pairs all expired first) are dropped here; objects still
-	// holding live pairs are left for the pair path above.
-	for _, st := range p.sigs {
-		gcCut := p.lastTS - st.w.Max
-		for len(st.idle) > 0 && st.idle[0].oldTS <= gcCut {
-			e := heap.Pop(&st.idle).(expiryEntry)
-			ps := st.objects[e.page]
+		// Idle-object GC: objects whose newest comment left the pairing
+		// window and that carry no live pairs (single-commenter objects, or
+		// objects whose pairs all expired first) are dropped here; objects
+		// still holding live pairs are left for the pair path above.
+		gcCut := wm - m.w.Max
+		sl.idle.drain(gcCut, func(e expiryEntry) {
+			ps := sl.objects[e.page]
 			if ps == nil || ps.lastTS != e.oldTS {
-				continue // stale: object gone or newer activity
+				return // stale: object gone or newer activity
 			}
 			if len(ps.live) == 0 {
-				delete(st.objects, e.page)
+				delete(sl.objects, e.page)
 			}
-		}
+		})
 	}
 }
 
-// applyEvictions routes one eviction wave's accumulated edge and page
+// applyWave routes one eviction wave's accumulated edge and page
 // decrements (and, on multi-signal projectors, the per-signal shares of
 // each edge decrement) to their owning shards and withdraws each shard's
-// batch under a single lock acquisition. With a patch sink installed the
-// per-shard withdrawals also record each edge's TOTAL weight transition,
-// and the wave's combined batch is delivered to the sink sorted by
-// (U, V) — one patch per edge per wave regardless of how many signals
-// contributed, preserving the contract of graph.SortEdgePatches.
-func (p *SlidingProjector) applyEvictions(edgeDec map[uint64]uint32, sigDec []map[uint64]uint32, pageDec map[graph.VertexID]uint32) {
-	edgesByShard := make(map[int]map[uint64]uint32)
-	for key, n := range edgeDec {
+// batch under a single lock acquisition. The per-shard routing maps are
+// recycled between waves. With a patch sink installed the per-shard
+// withdrawals also record each edge's TOTAL weight transition, and the
+// wave's combined batch is delivered to the sink sorted by (U, V) — one
+// patch per edge per wave regardless of how many signals contributed,
+// preserving the contract of graph.SortEdgePatches.
+func (p *SlidingProjector) applyWave(w *wave) {
+	p.touched = p.touched[:0]
+	p.pageOnly = p.pageOnly[:0]
+	for key, n := range w.edges {
 		i := p.g.EdgeShard(key)
-		m := edgesByShard[i]
+		m := p.shardEdges[i]
 		if m == nil {
 			m = make(map[uint64]uint32)
-			edgesByShard[i] = m
+			p.shardEdges[i] = m
+		}
+		if len(m) == 0 {
+			p.touched = append(p.touched, i)
 		}
 		m[key] = n
 	}
-	var sigByShard map[int][]map[uint64]uint32
-	if sigDec != nil {
-		sigByShard = make(map[int][]map[uint64]uint32)
-		for si, dec := range sigDec {
+	if p.track {
+		for si, dec := range w.sig {
 			for key, n := range dec {
 				i := p.g.EdgeShard(key)
-				sl := sigByShard[i]
+				sl := p.shardSig[i]
 				if sl == nil {
 					sl = make([]map[uint64]uint32, len(p.sigs))
-					sigByShard[i] = sl
+					p.shardSig[i] = sl
 				}
 				if sl[si] == nil {
 					sl[si] = make(map[uint64]uint32)
@@ -527,27 +754,47 @@ func (p *SlidingProjector) applyEvictions(edgeDec map[uint64]uint32, sigDec []ma
 			}
 		}
 	}
-	pagesByShard := make(map[int]map[graph.VertexID]uint32)
-	for v, n := range pageDec {
+	for v, n := range w.pages {
 		i := p.g.VertexShard(v)
-		m := pagesByShard[i]
+		m := p.shardPages[i]
 		if m == nil {
 			m = make(map[graph.VertexID]uint32)
-			pagesByShard[i] = m
+			p.shardPages[i] = m
+		}
+		if len(m) == 0 && len(p.shardEdges[i]) == 0 {
+			p.pageOnly = append(p.pageOnly, i)
 		}
 		m[v] = n
 	}
 	var patches []graph.EdgePatch
-	for i, em := range edgesByShard {
-		if p.patchSink != nil {
-			patches = p.g.SubShardDeltaSignalsPatches(i, em, sigByShard[i], pagesByShard[i], patches)
-		} else {
-			p.g.SubShardDeltaSignals(i, em, sigByShard[i], pagesByShard[i])
+	for _, i := range p.touched {
+		var sig []map[uint64]uint32
+		if p.track {
+			sig = p.shardSig[i]
 		}
-		delete(pagesByShard, i)
+		if p.patchSink != nil {
+			patches = p.g.SubShardDeltaSignalsPatches(i, p.shardEdges[i], sig, p.shardPages[i], patches)
+		} else {
+			p.g.SubShardDeltaSignals(i, p.shardEdges[i], sig, p.shardPages[i])
+		}
+		clear(p.shardEdges[i])
+		if sig != nil {
+			for _, m := range sig {
+				if m != nil {
+					clear(m)
+				}
+			}
+		}
+		if p.shardPages[i] != nil {
+			clear(p.shardPages[i])
+		}
 	}
-	for i, pm := range pagesByShard {
-		p.g.SubShardDelta(i, nil, pm)
+	for _, i := range p.pageOnly {
+		if len(p.shardPages[i]) == 0 {
+			continue // drained by an edge shard above
+		}
+		p.g.SubShardDelta(i, nil, p.shardPages[i])
+		clear(p.shardPages[i])
 	}
 	if p.patchSink != nil && len(patches) > 0 {
 		graph.SortEdgePatches(patches)
@@ -560,8 +807,8 @@ func (p *SlidingProjector) applyEvictions(edgeDec map[uint64]uint32, sigDec []ma
 // feed a persistent oriented adjacency (tripoll.Oriented.ApplyPatches)
 // consumes to stay current without diffing snapshots. Page-count decay
 // produces no patches. The sink runs on the mutator goroutine (Add /
-// AdvanceTo / AddAll), so it must not call back into the projector. Pass
-// nil to detach.
+// AdvanceTo / AddAll / AddBatch), so it must not call back into the
+// projector. Pass nil to detach.
 func (p *SlidingProjector) SetEvictionPatchSink(sink func([]graph.EdgePatch)) {
 	p.patchSink = sink
 }
@@ -584,10 +831,14 @@ func (p *SlidingProjector) GraphVersion() uint64 { return p.g.Version() }
 // must not be used afterwards; Add and AdvanceTo return ErrAddAfterResult.
 func (p *SlidingProjector) Result() graph.CIView {
 	p.finished = true
-	for _, st := range p.sigs {
-		st.objects = nil
-		st.exp = nil
-		st.idle = nil
+	for li := range p.lanes {
+		ln := &p.lanes[li]
+		for si := range ln.sig {
+			ln.sig[si].objects = nil
+			ln.sig[si].exp.release()
+			ln.sig[si].idle.release()
+		}
+		ln.pend = nil
 	}
 	return p.g
 }
@@ -596,9 +847,11 @@ func (p *SlidingProjector) Result() graph.CIView {
 // signal's object states.
 func (p *SlidingProjector) BufferedComments() int {
 	n := 0
-	for _, st := range p.sigs {
-		for _, ps := range st.objects {
-			n += len(ps.buf) - ps.start
+	for li := range p.lanes {
+		for si := range p.lanes[li].sig {
+			for _, ps := range p.lanes[li].sig[si].objects {
+				n += len(ps.buf) - ps.start
+			}
 		}
 	}
 	return n
@@ -608,8 +861,10 @@ func (p *SlidingProjector) BufferedComments() int {
 // the GC behaviour with it).
 func (p *SlidingProjector) numObjectStates() int {
 	n := 0
-	for _, st := range p.sigs {
-		n += len(st.objects)
+	for li := range p.lanes {
+		for si := range p.lanes[li].sig {
+			n += len(p.lanes[li].sig[si].objects)
+		}
 	}
 	return n
 }

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchCorpus builds n synthetic comments in both wire forms.
+func benchCorpus(n int) (ndjson, frame []byte) {
+	var sb strings.Builder
+	enc := NewEncoder()
+	for i := 0; i < n; i++ {
+		author := fmt.Sprintf("author_%04d", i%500)
+		page := fmt.Sprintf("p%d", i%200)
+		fmt.Fprintf(&sb, "{\"author\":%q,\"page\":%q,\"ts\":%d}\n", author, page, int64(i)*3)
+		enc.Add(author, page, int64(i)*3)
+	}
+	return []byte(sb.String()), append([]byte(nil), enc.Bytes()...)
+}
+
+// BenchmarkScanNDJSON is the zero-copy JSON scanner alone: decode-only
+// throughput of the ingest fast path, no interning or projection.
+func BenchmarkScanNDJSON(b *testing.B) {
+	body, _ := benchCorpus(10000)
+	var sc Scanner
+	var c Comment
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		sc.Reset(body)
+		for {
+			ok, err := sc.Next(&c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "comments/s")
+}
+
+// BenchmarkScanFrame is the binary-frame decoder alone.
+func BenchmarkScanFrame(b *testing.B) {
+	_, body := benchCorpus(10000)
+	var c Comment
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		fs, err := NewFrameScanner(body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			ok, err := fs.Next(&c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "comments/s")
+}

@@ -1,0 +1,460 @@
+package wire
+
+import (
+	"fmt"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// Scanner is the zero-copy JSON comment scanner. It accepts any
+// whitespace-separated concatenation of comment objects and arrays of
+// comment objects — a superset of both the JSON-array and NDJSON bodies
+// the daemon has always taken, including the two mixed on one
+// connection. Unknown object fields are skipped structurally.
+//
+// Field views point into the scanned buffer except for strings carrying
+// escapes, which are unescaped once into an internal arena; arena blocks
+// are append-only, so earlier views survive later growth. A Scanner is
+// single-use: scan one body, then drop it (the backing buffer may be
+// pooled by the caller).
+type Scanner struct {
+	buf []byte
+	pos int
+	// inArray tracks whether the scanner is inside a top-level array of
+	// comment objects.
+	inArray bool
+	// arrayNeedsSep is set between array elements: the next element must
+	// be preceded by ',' (or the array must close).
+	arrayNeedsSep bool
+
+	// arena holds unescaped string bytes. Append-only: growth abandons
+	// the old block, which stays referenced by the views cut from it.
+	arena []byte
+	// attrs is the flat backing for URLs/Tags views; like the arena it is
+	// append-only from the views' point of view.
+	attrs [][]byte
+}
+
+// NewScanner returns a Scanner over one ingest body.
+func NewScanner(buf []byte) *Scanner {
+	return &Scanner{buf: buf}
+}
+
+// Reset re-arms the scanner for a new buffer, keeping the arena and
+// attribute backing capacity.
+func (s *Scanner) Reset(buf []byte) {
+	s.buf = buf
+	s.pos = 0
+	s.inArray = false
+	s.arrayNeedsSep = false
+	s.arena = s.arena[:0]
+	s.attrs = s.attrs[:0]
+}
+
+func (s *Scanner) errf(format string, args ...any) error {
+	return fmt.Errorf("offset %d: %s", s.pos, fmt.Sprintf(format, args...))
+}
+
+func (s *Scanner) skipWS() {
+	for s.pos < len(s.buf) {
+		switch s.buf[s.pos] {
+		case ' ', '\t', '\n', '\r':
+			s.pos++
+		default:
+			return
+		}
+	}
+}
+
+// Next scans the next comment object into c, returning (false, nil) at a
+// clean end of input.
+func (s *Scanner) Next(c *Comment) (bool, error) {
+	for {
+		s.skipWS()
+		if s.pos >= len(s.buf) {
+			if s.inArray {
+				return false, s.errf("unexpected end of input inside array")
+			}
+			return false, nil
+		}
+		switch b := s.buf[s.pos]; b {
+		case '[':
+			if s.inArray {
+				return false, s.errf("nested array")
+			}
+			s.inArray = true
+			s.arrayNeedsSep = false
+			s.pos++
+		case ']':
+			if !s.inArray {
+				return false, s.errf("unexpected ']'")
+			}
+			s.inArray = false
+			s.pos++
+		case ',':
+			if !s.inArray || !s.arrayNeedsSep {
+				return false, s.errf("unexpected ','")
+			}
+			s.arrayNeedsSep = false
+			s.pos++
+		case '{':
+			if s.inArray && s.arrayNeedsSep {
+				return false, s.errf("expected ',' or ']' between array elements")
+			}
+			if err := s.scanObject(c); err != nil {
+				return false, err
+			}
+			if s.inArray {
+				s.arrayNeedsSep = true
+			}
+			return true, nil
+		default:
+			return false, s.errf("expected comment object, got %q", b)
+		}
+	}
+}
+
+// scanObject decodes one comment object starting at '{'.
+func (s *Scanner) scanObject(c *Comment) error {
+	*c = Comment{}
+	s.pos++ // '{'
+	s.skipWS()
+	if s.pos < len(s.buf) && s.buf[s.pos] == '}' {
+		s.pos++
+		return nil
+	}
+	for {
+		s.skipWS()
+		key, err := s.scanString()
+		if err != nil {
+			return err
+		}
+		s.skipWS()
+		if s.pos >= len(s.buf) || s.buf[s.pos] != ':' {
+			return s.errf("expected ':' after object key")
+		}
+		s.pos++
+		s.skipWS()
+		switch string(key) {
+		case "author":
+			if c.Author, err = s.scanString(); err != nil {
+				return err
+			}
+		case "page":
+			if c.Page, err = s.scanString(); err != nil {
+				return err
+			}
+		case "ts":
+			if c.TS, err = s.scanInt(); err != nil {
+				return err
+			}
+		case "urls":
+			if c.URLs, err = s.scanStringArray(); err != nil {
+				return err
+			}
+		case "tags":
+			if c.Tags, err = s.scanStringArray(); err != nil {
+				return err
+			}
+		case "reply_to":
+			if c.ReplyTo, err = s.scanString(); err != nil {
+				return err
+			}
+		default:
+			if err := s.skipValue(); err != nil {
+				return err
+			}
+		}
+		s.skipWS()
+		if s.pos >= len(s.buf) {
+			return s.errf("unexpected end of input inside object")
+		}
+		switch s.buf[s.pos] {
+		case ',':
+			s.pos++
+		case '}':
+			s.pos++
+			return nil
+		default:
+			return s.errf("expected ',' or '}' in object, got %q", s.buf[s.pos])
+		}
+	}
+}
+
+// scanString decodes a JSON string at the cursor. Escape-free strings
+// are returned as views into the buffer; escaped ones are unescaped into
+// the arena.
+func (s *Scanner) scanString() ([]byte, error) {
+	if s.pos >= len(s.buf) || s.buf[s.pos] != '"' {
+		return nil, s.errf("expected string")
+	}
+	s.pos++
+	start := s.pos
+	for i := s.pos; i < len(s.buf); i++ {
+		switch s.buf[i] {
+		case '"':
+			out := s.buf[start:i]
+			s.pos = i + 1
+			return out, nil
+		case '\\':
+			return s.scanEscapedString(start, i)
+		default:
+			if s.buf[i] < 0x20 {
+				s.pos = i
+				return nil, s.errf("raw control character in string")
+			}
+		}
+	}
+	s.pos = len(s.buf)
+	return nil, s.errf("unterminated string")
+}
+
+// scanEscapedString finishes a string whose first backslash sits at esc;
+// the clean prefix is buf[start:esc]. The unescaped bytes land in the
+// arena and the returned view points there.
+func (s *Scanner) scanEscapedString(start, esc int) ([]byte, error) {
+	mark := len(s.arena)
+	s.arena = append(s.arena, s.buf[start:esc]...)
+	i := esc
+	for i < len(s.buf) {
+		switch b := s.buf[i]; {
+		case b == '"':
+			s.pos = i + 1
+			return s.arena[mark:len(s.arena):len(s.arena)], nil
+		case b == '\\':
+			i++
+			if i >= len(s.buf) {
+				s.pos = i
+				return nil, s.errf("unterminated escape")
+			}
+			switch e := s.buf[i]; e {
+			case '"', '\\', '/':
+				s.arena = append(s.arena, e)
+				i++
+			case 'b':
+				s.arena = append(s.arena, '\b')
+				i++
+			case 'f':
+				s.arena = append(s.arena, '\f')
+				i++
+			case 'n':
+				s.arena = append(s.arena, '\n')
+				i++
+			case 'r':
+				s.arena = append(s.arena, '\r')
+				i++
+			case 't':
+				s.arena = append(s.arena, '\t')
+				i++
+			case 'u':
+				r, n, err := s.decodeUnicodeEscape(i - 1)
+				if err != nil {
+					return nil, err
+				}
+				s.arena = utf8.AppendRune(s.arena, r)
+				i += n - 1
+			default:
+				s.pos = i
+				return nil, s.errf("invalid escape \\%c", e)
+			}
+		case b < 0x20:
+			s.pos = i
+			return nil, s.errf("raw control character in string")
+		default:
+			s.arena = append(s.arena, b)
+			i++
+		}
+	}
+	s.pos = len(s.buf)
+	return nil, s.errf("unterminated string")
+}
+
+// decodeUnicodeEscape decodes \uXXXX (and a following low-surrogate
+// escape when XXXX is a high surrogate) starting at the backslash index.
+// It returns the rune and the total bytes consumed from that backslash.
+func (s *Scanner) decodeUnicodeEscape(at int) (rune, int, error) {
+	hex4 := func(off int) (rune, bool) {
+		if off+4 > len(s.buf) {
+			return 0, false
+		}
+		var v rune
+		for _, c := range s.buf[off : off+4] {
+			v <<= 4
+			switch {
+			case c >= '0' && c <= '9':
+				v |= rune(c - '0')
+			case c >= 'a' && c <= 'f':
+				v |= rune(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				v |= rune(c-'A') + 10
+			default:
+				return 0, false
+			}
+		}
+		return v, true
+	}
+	r, ok := hex4(at + 2)
+	if !ok {
+		s.pos = at
+		return 0, 0, s.errf("invalid \\u escape")
+	}
+	n := 6
+	if utf16.IsSurrogate(r) {
+		if at+6+6 <= len(s.buf) && s.buf[at+6] == '\\' && s.buf[at+7] == 'u' {
+			if r2, ok := hex4(at + 8); ok {
+				if dec := utf16.DecodeRune(r, r2); dec != utf8.RuneError {
+					return dec, 12, nil
+				}
+			}
+		}
+		// Lone surrogate: replacement character, matching encoding/json.
+		return utf8.RuneError, n, nil
+	}
+	return r, n, nil
+}
+
+// scanInt decodes a (possibly negative) integer timestamp.
+func (s *Scanner) scanInt() (int64, error) {
+	i := s.pos
+	neg := false
+	if i < len(s.buf) && s.buf[i] == '-' {
+		neg = true
+		i++
+	}
+	start := i
+	var v int64
+	for i < len(s.buf) && s.buf[i] >= '0' && s.buf[i] <= '9' {
+		d := int64(s.buf[i] - '0')
+		if v > (1<<63-1-d)/10 {
+			return 0, s.errf("integer overflow")
+		}
+		v = v*10 + d
+		i++
+	}
+	if i == start {
+		return 0, s.errf("expected integer")
+	}
+	// Reject the fraction/exponent forms a real timestamp never has.
+	if i < len(s.buf) && (s.buf[i] == '.' || s.buf[i] == 'e' || s.buf[i] == 'E') {
+		s.pos = i
+		return 0, s.errf("non-integer timestamp")
+	}
+	s.pos = i
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// scanStringArray decodes ["a","b",...] into views appended to the flat
+// attrs backing. null is accepted as an empty list (encoding/json
+// compatibility for omitted slices).
+func (s *Scanner) scanStringArray() ([][]byte, error) {
+	if s.pos+4 <= len(s.buf) && string(s.buf[s.pos:s.pos+4]) == "null" {
+		s.pos += 4
+		return nil, nil
+	}
+	if s.pos >= len(s.buf) || s.buf[s.pos] != '[' {
+		return nil, s.errf("expected array of strings")
+	}
+	s.pos++
+	mark := len(s.attrs)
+	s.skipWS()
+	if s.pos < len(s.buf) && s.buf[s.pos] == ']' {
+		s.pos++
+		return nil, nil
+	}
+	for {
+		s.skipWS()
+		v, err := s.scanString()
+		if err != nil {
+			return nil, err
+		}
+		s.attrs = append(s.attrs, v)
+		s.skipWS()
+		if s.pos >= len(s.buf) {
+			return nil, s.errf("unexpected end of input inside array")
+		}
+		switch s.buf[s.pos] {
+		case ',':
+			s.pos++
+		case ']':
+			s.pos++
+			return s.attrs[mark:len(s.attrs):len(s.attrs)], nil
+		default:
+			return nil, s.errf("expected ',' or ']' in array, got %q", s.buf[s.pos])
+		}
+	}
+}
+
+// skipValue structurally skips one JSON value of any type.
+func (s *Scanner) skipValue() error {
+	s.skipWS()
+	if s.pos >= len(s.buf) {
+		return s.errf("unexpected end of input")
+	}
+	switch b := s.buf[s.pos]; {
+	case b == '"':
+		// Skip without unescaping: find the closing quote.
+		i := s.pos + 1
+		for i < len(s.buf) {
+			switch s.buf[i] {
+			case '\\':
+				i += 2
+			case '"':
+				s.pos = i + 1
+				return nil
+			default:
+				i++
+			}
+		}
+		s.pos = len(s.buf)
+		return s.errf("unterminated string")
+	case b == '{' || b == '[':
+		depth := 0
+		i := s.pos
+		for i < len(s.buf) {
+			switch s.buf[i] {
+			case '{', '[':
+				depth++
+				i++
+			case '}', ']':
+				depth--
+				i++
+				if depth == 0 {
+					s.pos = i
+					return nil
+				}
+			case '"':
+				i++
+				for i < len(s.buf) {
+					if s.buf[i] == '\\' {
+						i += 2
+					} else if s.buf[i] == '"' {
+						i++
+						break
+					} else {
+						i++
+					}
+				}
+			default:
+				i++
+			}
+		}
+		s.pos = len(s.buf)
+		return s.errf("unterminated %c", b)
+	default:
+		// Number / true / false / null: scan to a delimiter.
+		i := s.pos
+		for i < len(s.buf) {
+			switch s.buf[i] {
+			case ',', '}', ']', ' ', '\t', '\n', '\r':
+				s.pos = i
+				return nil
+			}
+			i++
+		}
+		s.pos = len(s.buf)
+		return nil
+	}
+}

@@ -1,0 +1,51 @@
+// Package wire implements the ingest wire formats of the detection
+// daemon, built for zero-copy decoding:
+//
+//   - Scanner reads the JSON ingest body — a JSON array of comment
+//     objects, an NDJSON / concatenated-object stream, or any
+//     concatenation of the two — into byte-slice field views over the
+//     request buffer. No json.Decoder, no tokenizer allocations, no
+//     per-comment struct with owned strings: the only copies are escaped
+//     strings, unescaped once into an append-only arena.
+//
+//   - FrameScanner/Encoder implement a compact binary alternative
+//     (Content-Type negotiated on /v1/ingest) for feeders that control
+//     both ends: length-prefixed strings and varint timestamps behind a
+//     fixed header, in the spirit of the ygmnet exchange framing. Binary
+//     bodies need no escaping, so decoding is pure pointer arithmetic.
+//
+// Both readers yield the same Comment view type, so everything past the
+// scan — validation, batch interning, projection — is format-blind.
+package wire
+
+// Comment is one scanned comment: field views into the scan buffer (or
+// the scanner's unescape arena). Views stay valid as long as the buffer
+// passed to the scanner does; nothing is copied out.
+type Comment struct {
+	Author []byte
+	Page   []byte
+	TS     int64
+	// URLs / Tags / ReplyTo are the optional signal attributes. Empty
+	// slices mean absent; a zero-length ReplyTo means "no reply target"
+	// (matching the JSON convention that "reply_to":"" is ignored).
+	URLs    [][]byte
+	Tags    [][]byte
+	ReplyTo []byte
+}
+
+// HasAttrs reports whether the comment carries any signal attribute.
+func (c *Comment) HasAttrs() bool {
+	return len(c.URLs) > 0 || len(c.Tags) > 0 || len(c.ReplyTo) > 0
+}
+
+// Reader yields scanned comments one at a time. Next returns false with
+// a nil error at a clean end of input; the views written to c are
+// invalidated by the next call only in so far as c is reused — the
+// underlying bytes stay valid for the life of the scan buffer.
+type Reader interface {
+	Next(c *Comment) (bool, error)
+}
+
+// ContentTypeFrame is the negotiated Content-Type of the binary frame
+// format. Anything else on /v1/ingest is treated as JSON.
+const ContentTypeFrame = "application/x-coordbot-frame"

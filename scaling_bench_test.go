@@ -285,10 +285,12 @@ func TestWriteDetectdBench(t *testing.T) {
 			"window_sec":  60,
 		},
 		"ingest": map[string]any{
-			"comments_per_sec": ingest.Extra["comments/s"],
-			"ns_per_pass":      ingest.NsPerOp(),
-			"passes":           ingest.N,
-			"allocs_per_pass":  ingest.AllocsPerOp(),
+			"comments_per_sec":   ingest.Extra["comments/s"],
+			"ns_per_pass":        ingest.NsPerOp(),
+			"passes":             ingest.N,
+			"allocs_per_pass":    ingest.AllocsPerOp(),
+			"allocs_per_comment": float64(ingest.AllocsPerOp()) / float64(detectdBenchComments),
+			"bytes_per_comment":  float64(ingest.AllocedBytesPerOp()) / float64(detectdBenchComments),
 		},
 		"survey": map[string]any{
 			"latency_ms":      float64(survey.NsPerOp()) / 1e6,
