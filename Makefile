@@ -22,12 +22,14 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# Short fuzz of the edge-key codec, the sharded-vs-map adjacency
-# equivalence, and the patched-vs-rebuilt oriented CSR (seed corpora also
-# run under plain `make test`).
+# Short fuzz of the edge-key codec, the open-addressed edge table vs a
+# map reference model, the sharded-vs-map adjacency equivalence, and the
+# patched-vs-rebuilt oriented CSR (seed corpora also run under plain
+# `make test`).
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./internal/graph/ -fuzz FuzzPackEdge -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/graph/ -fuzz FuzzEdgeTable -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/graph/ -fuzz FuzzBuildAdjacency -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tripoll/ -fuzz FuzzOrientedPatch -fuzztime $(FUZZTIME)
 

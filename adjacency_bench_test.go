@@ -217,13 +217,12 @@ func TestWriteAdjacencyBench(t *testing.T) {
 	}
 	report := map[string]any{
 		"benchmark": "adjacency-maintenance",
-		"corpus": map[string]any{
+		"corpus": benchRuntime(map[string]any{
 			"authors":  incrementalAuthors,
 			"comments": incrementalComments,
-			"shards":   incrementalShards,
 			"edge_cut": adjacencyCut,
-		},
-		"cycle": "threshold-delta + orientation maintenance (patch vs rebuild) + dirty survey",
+		}, 1, incrementalShards),
+		"cycle":   "threshold-delta + orientation maintenance (patch vs rebuild) + dirty survey",
 		"regimes": regimes,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
 	"testing"
 
 	"coordbot/internal/graph"
@@ -21,7 +20,7 @@ import (
 const cigraphBenchComments = 80000
 
 // benchProjection builds the 80k-comment CI graph in both representations.
-func benchProjection(b *testing.B) (*graph.CIGraph, *graph.ShardedCI) {
+func benchProjection(b testing.TB) (*graph.CIGraph, *graph.ShardedCI) {
 	b.Helper()
 	d := corpusOf(cigraphBenchComments)
 	w := projection.Window{Min: 0, Max: 600}
@@ -78,6 +77,40 @@ func BenchmarkSnapshotCOW(b *testing.B) {
 	}
 }
 
+// edgeUpsertKeys builds a working set of distinct endpoint pairs for the
+// upsert benchmarks (power-of-two length for cheap wraparound indexing).
+func edgeUpsertKeys(n int) [][2]graph.VertexID {
+	rng := rand.New(rand.NewSource(7))
+	keys := make([][2]graph.VertexID, n)
+	for i := range keys {
+		u := graph.VertexID(rng.Intn(1 << 17))
+		v := graph.VertexID(rng.Intn(1 << 17))
+		for u == v {
+			v = graph.VertexID(rng.Intn(1 << 17))
+		}
+		keys[i] = [2]graph.VertexID{u, v}
+	}
+	return keys
+}
+
+// BenchmarkEdgeUpsert is the projection's per-pair hot path on the live
+// store: one multi-signal upsert — shard route, lock, flat-table probe
+// updating the total and the signal share together — over a churning
+// working set. This is the operation the flat edge table exists for; the
+// map-backed shape it replaced paid a generic map traversal plus one more
+// map operation per signal here.
+func BenchmarkEdgeUpsert(b *testing.B) {
+	const nsig = 3
+	g := graph.NewShardedCISignals(0, nsig)
+	keys := edgeUpsertKeys(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i&(len(keys)-1)]
+		g.AddEdgeWeightSig(k[0], k[1], 1, i%nsig)
+	}
+}
+
 // BenchmarkProjectionMerge compares the three batch projections on the
 // same corpus: the sequential reference, the rank-parallel Project (serial
 // gather into one map), and ProjectSharded (per-shard owner-computes
@@ -111,6 +144,48 @@ func BenchmarkProjectionMerge(b *testing.B) {
 			}
 		}
 	})
+}
+
+// Ceilings for TestCIGraphGuard, with generous headroom over the flat
+// store's measured numbers (54ns/op upsert, 4 allocs/op idle snapshot on
+// a 2.1GHz Xeon) but far below what a map-shaped regression costs: a Go
+// map traversal plus one sidecar map op per signal puts the upsert past
+// 300ns, and any per-entry clone in the snapshot path shows up as
+// thousands of allocations.
+const (
+	guardUpsertNsCeiling       = 250
+	guardSnapshotAllocsCeiling = 16
+)
+
+// TestCIGraphGuard enforces the flat edge store's perf contract. Run by
+// CI's bench-smoke step with BENCH_GUARD=1 (skipped otherwise — wall-time
+// ceilings are meaningless under -race or on loaded dev boxes).
+func TestCIGraphGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to run the cigraph perf guard")
+	}
+	up := testing.Benchmark(BenchmarkEdgeUpsert)
+	t.Logf("edge upsert: %dns/op, %d allocs/op", up.NsPerOp(), up.AllocsPerOp())
+	if up.NsPerOp() > guardUpsertNsCeiling {
+		t.Errorf("multi-signal edge upsert %dns/op exceeds the %dns ceiling (map-shaped store?)",
+			up.NsPerOp(), guardUpsertNsCeiling)
+	}
+	if up.AllocsPerOp() != 0 {
+		t.Errorf("edge upsert allocates (%d allocs/op), want 0", up.AllocsPerOp())
+	}
+
+	_, sh := benchProjection(t)
+	snap := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sh.Snapshot()
+		}
+	})
+	t.Logf("COW snapshot: %dns/op, %d allocs/op", snap.NsPerOp(), snap.AllocsPerOp())
+	if snap.AllocsPerOp() > guardSnapshotAllocsCeiling {
+		t.Errorf("snapshot clone %d allocs/op exceeds the %d ceiling (per-entry cloning?)",
+			snap.AllocsPerOp(), guardSnapshotAllocsCeiling)
+	}
 }
 
 // TestWriteCIGraphBench records the sharded-store benchmarks to the JSON
@@ -180,16 +255,20 @@ func TestWriteCIGraphBench(t *testing.T) {
 			}
 		}
 	})
+	upsert := testing.Benchmark(BenchmarkEdgeUpsert)
 
 	report := map[string]any{
 		"benchmark": "cigraph-sharded",
-		"corpus": map[string]any{
+		"corpus": benchRuntime(map[string]any{
 			"comments":   cigraphBenchComments,
 			"window_sec": 600,
 			"edges":      ref.NumEdges(),
 			"authors":    ref.NumAuthors(),
-			"shards":     sh.NumShards(),
-			"gomaxprocs": runtime.GOMAXPROCS(0),
+		}, 1, sh.NumShards()),
+		"edge_upsert": map[string]any{
+			"multi_signal_ns": upsert.NsPerOp(),
+			"allocs":          upsert.AllocsPerOp(),
+			"guard_ns":        guardUpsertNsCeiling,
 		},
 		"snapshot": map[string]any{
 			"clone_ns":        clone.NsPerOp(),

@@ -210,12 +210,11 @@ func TestWriteCommunityBench(t *testing.T) {
 	}
 	report := map[string]any{
 		"benchmark": "community-warm-start",
-		"corpus": map[string]any{
+		"corpus": benchRuntime(map[string]any{
 			"authors":  incrementalAuthors,
 			"comments": incrementalComments,
-			"shards":   incrementalShards,
 			"edge_cut": adjacencyCut,
-		},
+		}, 1, incrementalShards),
 		"cycle":   "Leiden partition of the pruned graph (warm component reuse vs cold)",
 		"regimes": regimes,
 	}

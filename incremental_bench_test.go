@@ -165,12 +165,11 @@ func TestWriteIncrementalBench(t *testing.T) {
 	speedup := float64(full.NsPerOp()) / float64(delta.NsPerOp())
 	report := map[string]any{
 		"benchmark": "incremental-survey",
-		"corpus": map[string]any{
+		"corpus": benchRuntime(map[string]any{
 			"authors":   incrementalAuthors,
 			"comments":  incrementalComments,
 			"span_days": 14,
-			"shards":    incrementalShards,
-		},
+		}, 1, incrementalShards),
 		"dirty_batch": map[string]any{
 			"authors":          incrementalBatchAuthors,
 			"dirty_shards":     delta.Extra["dirty-shards"],

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"coordbot/internal/detectd"
@@ -113,13 +114,14 @@ func TestWriteIngestBench(t *testing.T) {
 	d := corpusOf(detectdBenchComments)
 	total := float64(len(d.Comments))
 	variants := []struct {
-		name string
-		fn   func(*testing.B)
+		name    string
+		fn      func(*testing.B)
+		workers int
 	}{
-		{"json_serial", BenchmarkIngestJSONSerial},
-		{"json_parallel", BenchmarkIngestJSONParallel},
-		{"frame_serial", BenchmarkIngestFrameSerial},
-		{"frame_parallel", BenchmarkIngestFrameParallel},
+		{"json_serial", BenchmarkIngestJSONSerial, 1},
+		{"json_parallel", BenchmarkIngestJSONParallel, 0},
+		{"frame_serial", BenchmarkIngestFrameSerial, 1},
+		{"frame_parallel", BenchmarkIngestFrameParallel, 0},
 	}
 	results := map[string]any{}
 	best := 0.0
@@ -128,11 +130,16 @@ func TestWriteIngestBench(t *testing.T) {
 		cps := r.Extra["comments/s"]
 		apc := float64(r.AllocsPerOp()) / total
 		bpc := float64(r.AllocedBytesPerOp()) / total
+		workers := v.workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
 		results[v.name] = map[string]any{
 			"comments_per_sec":   cps,
 			"allocs_per_comment": apc,
 			"bytes_per_comment":  bpc,
 			"passes":             r.N,
+			"ingest_workers":     workers,
 		}
 		if cps > best {
 			best = cps
@@ -145,13 +152,13 @@ func TestWriteIngestBench(t *testing.T) {
 	}
 	report := map[string]any{
 		"benchmark": "ingest",
-		"corpus": map[string]any{
+		"corpus": benchRuntime(map[string]any{
 			"comments":    len(d.Comments),
 			"span_days":   14,
 			"horizon_sec": 6 * 3600,
 			"window_sec":  60,
 			"batch_size":  512,
-		},
+		}, 0, 0), // parallel variants; serial ones pin workers=1 per variant
 		"variants":                  results,
 		"baseline_comments_per_sec": ingestBaselineCommentsPerSec,
 		"best_comments_per_sec":     best,

@@ -30,8 +30,10 @@
 package detectd
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -379,13 +381,20 @@ func (s *Service) Authors() *interner.Interner { return s.authors }
 func (s *Service) Pages() *interner.Interner { return s.pageIDs }
 
 // Start launches the ingest worker and, if configured, the survey loop.
+// Each long-lived goroutine carries a pprof "phase" label (ingest /
+// survey, with the clustering section additionally labeled communities),
+// so -pprof-addr profiles attribute samples by pipeline phase.
 func (s *Service) Start() {
 	s.startOnce.Do(func() {
 		s.wg.Add(1)
-		go s.ingestLoop()
+		go pprof.Do(context.Background(), pprof.Labels("phase", "ingest"), func(context.Context) {
+			s.ingestLoop()
+		})
 		if s.cfg.SurveyInterval > 0 {
 			s.wg.Add(1)
-			go s.surveyLoop()
+			go pprof.Do(context.Background(), pprof.Labels("phase", "survey"), func(context.Context) {
+				s.surveyLoop()
+			})
 		}
 	})
 }
@@ -738,19 +747,23 @@ func (s *Service) SurveyNow() (*SurveyResult, error) {
 	var partition *community.Partition
 	if s.cfg.Communities {
 		t0 := time.Now()
-		ccfg := s.cfg.Community.Defaults()
-		var prevPart *community.Partition
-		var warmDirty map[graph.VertexID]bool
-		if delta && cache != nil {
-			prevPart, warmDirty = cache.partition, dirty
-		}
-		partition = community.DetectWarm(res.Thresholded, ccfg, prevPart, warmDirty)
-		kept := make([]tripoll.Triangle, len(res.Triangles))
-		for i := range res.Triangles {
-			kept[i] = res.Triangles[i].Triangle
-		}
-		res.Partition = partition
-		res.Communities = community.ScoreCommunities(partition, res.Thresholded, btm, kept, ccfg.MinSize)
+		// Relabel the clustering section so profiles split it out of the
+		// surrounding survey (or caller) phase.
+		pprof.Do(context.Background(), pprof.Labels("phase", "communities"), func(context.Context) {
+			ccfg := s.cfg.Community.Defaults()
+			var prevPart *community.Partition
+			var warmDirty map[graph.VertexID]bool
+			if delta && cache != nil {
+				prevPart, warmDirty = cache.partition, dirty
+			}
+			partition = community.DetectWarm(res.Thresholded, ccfg, prevPart, warmDirty)
+			kept := make([]tripoll.Triangle, len(res.Triangles))
+			for i := range res.Triangles {
+				kept[i] = res.Triangles[i].Triangle
+			}
+			res.Partition = partition
+			res.Communities = community.ScoreCommunities(partition, res.Thresholded, btm, kept, ccfg.MinSize)
+		})
 		res.Timings.Cluster = time.Since(t0)
 	}
 

@@ -62,18 +62,20 @@ func (s *CISnapshot) EdgePatches(prev *CISnapshot) (patches []EdgePatch, dirtySh
 		}
 		dirtyShards++
 		cur, old := s.edges[i], prev.edges[i]
-		for key, w := range cur {
-			if ow := old[key]; ow != w {
+		cur.ForEach(func(key uint64, w uint32) bool {
+			if ow := old.Get(key); ow != w {
 				u, v := UnpackEdge(key)
 				patches = append(patches, EdgePatch{U: u, V: v, Old: ow, New: w})
 			}
-		}
-		for key, ow := range old {
-			if _, live := cur[key]; !live {
+			return true
+		})
+		old.ForEach(func(key uint64, ow uint32) bool {
+			if !cur.Has(key) {
 				u, v := UnpackEdge(key)
 				patches = append(patches, EdgePatch{U: u, V: v, Old: ow, New: 0})
 			}
-		}
+			return true
+		})
 	}
 	SortEdgePatches(patches)
 	return patches, dirtyShards, true

@@ -2,17 +2,25 @@
 //
 // The map-backed CIGraph funnels every mutation through one global map and
 // pays O(E) to Clone — the snapshot cost that dominates an always-on
-// daemon surveying a large live graph. ShardedCI stripes the edge map and
+// daemon surveying a large live graph. ShardedCI stripes the edge store and
 // the P' table across P power-of-two shards by key hash; each shard is a
-// self-contained (edge map + page-count delta) unit with its own lock and
+// self-contained (edge table + page-count map) unit with its own lock and
 // a monotonic dirty-version counter.
 //
-// Snapshots are copy-on-write: Snapshot grabs each shard's current maps by
-// reference and marks the shard shared — O(P), independent of E. The first
-// mutation to land on a shared shard clones only that shard's maps (O(E/P)
-// while holding only that shard's lock) before writing, so a steady-state
-// daemon pays O(dirty shards) per survey cycle and ingestion never stalls
-// behind a full-graph copy.
+// Edges live in a flat open-addressed EdgeTable per shard (edgetable.go),
+// not a Go map: the projection's per-pair upsert/evict traffic costs a
+// linear probe over flat arrays, with multi-signal attribution folded into
+// the same probe via the table's struct-of-arrays signal lanes. Page
+// counts stay map-backed — P' traffic is per (author, object), orders of
+// magnitude lighter than the per-pair stream.
+//
+// Snapshots are copy-on-write: Snapshot grabs each shard's current table
+// and page map by reference and marks the shard shared — O(P), independent
+// of E. The first mutation to land on a shared shard clones only that
+// shard (a per-lane memcpy of the table, O(capacity/P), while holding only
+// that shard's lock) before writing, so a steady-state daemon pays
+// O(dirty shards) per survey cycle and ingestion never stalls behind a
+// full-graph copy.
 //
 // Snapshot consistency is per shard: writers running concurrently with
 // Snapshot may land between shard grabs. For a globally consistent
@@ -39,9 +47,11 @@ const DefaultShards = 64
 // can refuse to compare versions across unrelated stores.
 var storeIDs atomic.Uint64
 
-// mix64 is the splitmix64 finalizer — the shard router. Edge keys are
-// (u<<32|v) with correlated low bits, so a full-avalanche mix is needed
-// for even striping.
+// mix64 is the splitmix64 finalizer — the shard router and, via its high
+// bits, the EdgeTable hash. Edge keys are (u<<32|v) with correlated low
+// bits, so a full-avalanche mix is needed for even striping; shards take
+// the mix's LOW bits and the per-shard tables index by its HIGH bits, so
+// the two stripings stay independent.
 func mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -51,41 +61,29 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// ciShard is one stripe of the store: its edge map, its slice of the P'
-// table, a dirty-version counter, and the COW flag.
+// ciShard is one stripe of the store: its edge table (totals plus
+// per-signal share lanes), its slice of the P' table, a dirty-version
+// counter, and the COW flag.
 type ciShard struct {
 	mu    sync.RWMutex
-	edges map[uint64]uint32
+	edges *EdgeTable
 	pages map[VertexID]uint32
-	// sig, when non-nil, is this shard's per-signal breakdown of edges:
-	// sig[si][key] is signal si's share of edges[key]. Attribution
-	// metadata only — edges stays the source of truth for weights, and
-	// the breakdown follows the same COW discipline (own clones it, so a
-	// snapshot's maps stay frozen). Allocated by NewShardedCISignals;
-	// nil (zero cost) on single-signal stores.
-	sig []map[uint64]uint32
 	// version counts mutations to this shard (monotonic).
 	version uint64
-	// shared marks the current maps as referenced by a live snapshot; the
-	// next mutation clones them first (copy-on-write).
+	// shared marks the current table/map as referenced by a live snapshot;
+	// the next mutation clones them first (copy-on-write).
 	shared bool
 }
 
-// own makes the shard's maps writable, cloning them if a snapshot holds
-// the current ones. Caller holds sh.mu.
+// own makes the shard's edge table and page map writable, cloning them if
+// a snapshot holds the current ones. The table clone is a per-lane
+// memcpy. Caller holds sh.mu.
 func (sh *ciShard) own() {
 	if !sh.shared {
 		return
 	}
-	sh.edges = maps.Clone(sh.edges)
+	sh.edges = sh.edges.Clone()
 	sh.pages = maps.Clone(sh.pages)
-	if sh.sig != nil {
-		sig := make([]map[uint64]uint32, len(sh.sig))
-		for si, m := range sh.sig {
-			sig[si] = maps.Clone(m)
-		}
-		sh.sig = sig
-	}
 	sh.shared = false
 }
 
@@ -97,7 +95,7 @@ type ShardedCI struct {
 	shards []ciShard
 	mask   uint64
 	// numSignals is the per-signal breakdown width (0 = untracked; see
-	// ciShard.sig and NewShardedCISignals).
+	// NewShardedCISignals).
 	numSignals int
 	// id is the store identity; snapshots carry it so per-shard version
 	// comparisons are only made between snapshots of the same store.
@@ -110,6 +108,10 @@ type ShardedCI struct {
 // NewShardedCI creates an empty sharded store with n shards, rounded up to
 // a power of two; n <= 0 means DefaultShards.
 func NewShardedCI(n int) *ShardedCI {
+	return newShardedCI(n, 0)
+}
+
+func newShardedCI(n, numSignals int) *ShardedCI {
 	if n <= 0 {
 		n = DefaultShards
 	}
@@ -117,9 +119,12 @@ func NewShardedCI(n int) *ShardedCI {
 	for p < n {
 		p <<= 1
 	}
-	g := &ShardedCI{shards: make([]ciShard, p), mask: uint64(p - 1), id: storeIDs.Add(1)}
+	if numSignals < 2 {
+		numSignals = 0
+	}
+	g := &ShardedCI{shards: make([]ciShard, p), mask: uint64(p - 1), numSignals: numSignals, id: storeIDs.Add(1)}
 	for i := range g.shards {
-		g.shards[i].edges = make(map[uint64]uint32)
+		g.shards[i].edges = NewEdgeTable(0, numSignals)
 		g.shards[i].pages = make(map[VertexID]uint32)
 	}
 	return g
@@ -144,7 +149,7 @@ func (g *ShardedCI) AddEdgeWeight(u, v VertexID, w uint32) {
 	sh := &g.shards[g.EdgeShard(key)]
 	sh.mu.Lock()
 	sh.own()
-	sh.edges[key] += w
+	sh.edges.Add(key, w)
 	sh.version++
 	sh.mu.Unlock()
 	g.version.Add(1)
@@ -156,19 +161,10 @@ func (g *ShardedCI) SubEdgeWeight(u, v VertexID, w uint32) {
 	key := PackEdge(u, v)
 	sh := &g.shards[g.EdgeShard(key)]
 	sh.mu.Lock()
-	cur, ok := sh.edges[key]
-	if !ok || cur < w {
-		sh.mu.Unlock()
-		panic(fmt.Sprintf("graph: edge {%d,%d} weight underflow (%d - %d)", u, v, cur, w))
-	}
+	defer sh.mu.Unlock()
 	sh.own()
-	if cur == w {
-		delete(sh.edges, key)
-	} else {
-		sh.edges[key] = cur - w
-	}
+	sh.edges.Sub(key, w, nil)
 	sh.version++
-	sh.mu.Unlock()
 	g.version.Add(1)
 }
 
@@ -216,11 +212,10 @@ func (g *ShardedCI) SetPageCount(u VertexID, n uint32) {
 }
 
 // MergeShardDelta folds a per-shard delta (edge weight increments routed
-// by EdgeShard, page-count increments routed by VertexShard) into shard i.
-// This is the owner-computes merge primitive of the parallel projection:
-// each shard is merged under its own lock, so P mergers proceed with no
-// global lock. Keys routed to the wrong shard are a caller bug and would
-// silently corrupt lookups; callers route with EdgeShard/VertexShard.
+// by EdgeShard, page-count increments routed by VertexShard) into shard i
+// — the map-keyed convenience form of AddShardBatch. Keys routed to the
+// wrong shard are a caller bug and would silently corrupt lookups;
+// callers route with EdgeShard/VertexShard.
 func (g *ShardedCI) MergeShardDelta(i int, edges map[uint64]uint32, pages map[VertexID]uint32) {
 	if len(edges) == 0 && len(pages) == 0 {
 		return
@@ -229,7 +224,7 @@ func (g *ShardedCI) MergeShardDelta(i int, edges map[uint64]uint32, pages map[Ve
 	sh.mu.Lock()
 	sh.own()
 	for key, w := range edges {
-		sh.edges[key] += w
+		sh.edges.Add(key, w)
 	}
 	for v, n := range pages {
 		sh.pages[v] += n
@@ -239,14 +234,35 @@ func (g *ShardedCI) MergeShardDelta(i int, edges map[uint64]uint32, pages map[Ve
 	g.version.Add(1)
 }
 
+// AddShardBatch folds a shard-grouped flat delta into shard i under one
+// lock acquisition and one version bump: edge increments (with optional
+// stride-NumSignals attribution aligned as in EdgeTable.AddBatch) and
+// page-count increments. This is the zero-alloc owner-computes merge
+// primitive of the parallel projection and the ingest fast path. The
+// MergeShardDelta routing caveat applies.
+func (g *ShardedCI) AddShardBatch(i int, edges []EdgeDelta, sig []uint32, pages []PageDelta) {
+	if len(edges) == 0 && len(pages) == 0 {
+		return
+	}
+	sh := &g.shards[i]
+	sh.mu.Lock()
+	sh.own()
+	sh.edges.AddBatch(edges, sig)
+	for _, p := range pages {
+		sh.pages[p.V] += p.N
+	}
+	sh.version++
+	sh.mu.Unlock()
+	g.version.Add(1)
+}
+
 // SubShardDelta withdraws a pre-aggregated delta from shard i: every edge
 // weight and page count is decremented under a single lock acquisition,
 // with entries deleted at zero — the batch counterpart of SubEdgeWeight /
-// SubPageCount used by the sliding projector's shard-grouped eviction.
-// The shard's dirty version advances once per wave, not once per pair, so
-// downstream delta surveys see one coherent dirty unit. Panics on
-// underflow, and on keys routed to the wrong shard the same silent-
-// corruption caveat as MergeShardDelta applies.
+// SubPageCount. The shard's dirty version advances once per wave, not
+// once per pair, so downstream delta surveys see one coherent dirty unit.
+// Panics on underflow, and on keys routed to the wrong shard the same
+// silent-corruption caveat as MergeShardDelta applies.
 func (g *ShardedCI) SubShardDelta(i int, edges map[uint64]uint32, pages map[VertexID]uint32) {
 	if len(edges) == 0 && len(pages) == 0 {
 		return
@@ -254,59 +270,44 @@ func (g *ShardedCI) SubShardDelta(i int, edges map[uint64]uint32, pages map[Vert
 	g.subShardDelta(i, edges, nil, pages, nil)
 }
 
-// subShardDelta is the SubShardDelta core; record, when non-nil, observes
-// each edge decrement as an old→new weight transition under the shard lock
-// (SubShardDeltaPatches in patches.go). sigDec, when non-nil, carries the
-// wave's per-signal share of the edge decrements and is withdrawn from the
-// shard's breakdown maps under the same lock (SubShardDeltaSignals in
-// signals.go); only totals are recorded as patches, so the "each edge at
-// most once per wave" invariant downstream patch consumers rely on holds
-// regardless of how many signals contributed to a decrement.
+// subShardDelta is the map-keyed SubShardDelta core; record, when
+// non-nil, observes each edge decrement as an old→new weight transition
+// under the shard lock (SubShardDeltaPatches in patches.go). sigDec, when
+// non-nil, carries the wave's per-signal share of the edge decrements,
+// withdrawn from the table's share lanes in the same probe (the shares
+// must sum to the total per key); only totals are recorded as patches, so
+// the "each edge at most once per wave" invariant downstream patch
+// consumers rely on holds regardless of how many signals contributed to a
+// decrement. The hot wave path uses the flat SubShardBatch instead.
 func (g *ShardedCI) subShardDelta(i int, edges map[uint64]uint32, sigDec []map[uint64]uint32, pages map[VertexID]uint32, record func(key uint64, old, new uint32)) {
 	sh := &g.shards[i]
+	// The Sub underflow panic must not leave the shard locked (callers
+	// treat it as a caller bug, and tests assert on it).
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	sh.own()
-	for key, w := range edges {
-		cur, ok := sh.edges[key]
-		if !ok || cur < w {
-			sh.mu.Unlock()
-			u, v := UnpackEdge(key)
-			panic(fmt.Sprintf("graph: edge {%d,%d} weight underflow (%d - %d)", u, v, cur, w))
-		}
-		if cur == w {
-			delete(sh.edges, key)
-		} else {
-			sh.edges[key] = cur - w
-		}
-		if record != nil {
-			record(key, cur, cur-w)
-		}
+	var dec []uint32
+	if sigDec != nil && sh.edges.nsig > 0 {
+		dec = make([]uint32, sh.edges.nsig)
 	}
-	if sh.sig != nil {
-		for si, dec := range sigDec {
-			if len(dec) == 0 {
-				continue
-			}
-			m := sh.sig[si]
-			for key, w := range dec {
-				cur, ok := m[key]
-				if !ok || cur < w {
-					sh.mu.Unlock()
-					u, v := UnpackEdge(key)
-					panic(fmt.Sprintf("graph: edge {%d,%d} signal %d share underflow (%d - %d)", u, v, si, cur, w))
-				}
-				if cur == w {
-					delete(m, key)
+	for key, w := range edges {
+		if dec != nil {
+			for si := range dec {
+				if m := sigDec[si]; m != nil {
+					dec[si] = m[key]
 				} else {
-					m[key] = cur - w
+					dec[si] = 0
 				}
 			}
+		}
+		old, new := sh.edges.Sub(key, w, dec)
+		if record != nil {
+			record(key, old, new)
 		}
 	}
 	for v, n := range pages {
 		cur, ok := sh.pages[v]
 		if !ok || cur < n {
-			sh.mu.Unlock()
 			panic(fmt.Sprintf("graph: author %d page count underflow (%d - %d)", v, cur, n))
 		}
 		if cur == n {
@@ -316,16 +317,66 @@ func (g *ShardedCI) subShardDelta(i int, edges map[uint64]uint32, sigDec []map[u
 		}
 	}
 	sh.version++
-	sh.mu.Unlock()
 	g.version.Add(1)
 }
 
-// UpdateShard runs fn on shard i's maps under the shard's write lock,
-// after copy-on-write ownership is ensured — the generic merge primitive
-// for batch loaders that pre-aggregate per-shard updates (e.g. the flat
-// append-log merge of ProjectSharded). fn must only touch keys that route
-// to shard i (EdgeShard/VertexShard) and must not retain the maps.
-func (g *ShardedCI) UpdateShard(i int, fn func(edges map[uint64]uint32, pages map[VertexID]uint32)) {
+// SubShardBatch withdraws a shard-grouped flat delta from shard i under
+// one lock acquisition and one version bump: edge decrements (with
+// optional stride-NumSignals share attribution, as in
+// EdgeTable.SubBatch), then page-count decrements, entries deleted at
+// zero. Each edge key must appear at most once per batch. Panics on
+// underflow; the MergeShardDelta routing caveat applies. This is the
+// eviction-wave primitive of the sliding projector.
+func (g *ShardedCI) SubShardBatch(i int, edges []EdgeDelta, sig []uint32, pages []PageDelta) {
+	g.subShardBatch(i, edges, sig, pages, nil)
+}
+
+// SubShardBatchPatches is SubShardBatch with the withdrawn TOTAL-weight
+// transitions appended to out — one patch per edge per batch regardless
+// of how many signals contributed, preserving the contract of
+// SortEdgePatches.
+func (g *ShardedCI) SubShardBatchPatches(i int, edges []EdgeDelta, sig []uint32, pages []PageDelta, out []EdgePatch) []EdgePatch {
+	if len(edges) == 0 && len(pages) == 0 {
+		return out
+	}
+	g.subShardBatch(i, edges, sig, pages, func(key uint64, old, new uint32) {
+		u, v := UnpackEdge(key)
+		out = append(out, EdgePatch{U: u, V: v, Old: old, New: new})
+	})
+	return out
+}
+
+func (g *ShardedCI) subShardBatch(i int, edges []EdgeDelta, sig []uint32, pages []PageDelta, record func(key uint64, old, new uint32)) {
+	if len(edges) == 0 && len(pages) == 0 {
+		return
+	}
+	sh := &g.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.own()
+	sh.edges.SubBatch(edges, sig, record)
+	for _, p := range pages {
+		cur, ok := sh.pages[p.V]
+		if !ok || cur < p.N {
+			panic(fmt.Sprintf("graph: author %d page count underflow (%d - %d)", p.V, cur, p.N))
+		}
+		if cur == p.N {
+			delete(sh.pages, p.V)
+		} else {
+			sh.pages[p.V] = cur - p.N
+		}
+	}
+	sh.version++
+	g.version.Add(1)
+}
+
+// UpdateShard runs fn on shard i's edge table and page map under the
+// shard's write lock, after copy-on-write ownership is ensured — the
+// generic merge primitive for batch loaders that pre-aggregate per-shard
+// updates (e.g. the flat append-log merge of ProjectSharded). fn must
+// only touch keys that route to shard i (EdgeShard/VertexShard) and must
+// not retain the table or map.
+func (g *ShardedCI) UpdateShard(i int, fn func(edges *EdgeTable, pages map[VertexID]uint32)) {
 	sh := &g.shards[i]
 	sh.mu.Lock()
 	sh.own()
@@ -336,21 +387,18 @@ func (g *ShardedCI) UpdateShard(i int, fn func(edges map[uint64]uint32, pages ma
 }
 
 // Snapshot returns a copy-on-write snapshot: O(shards) regardless of graph
-// size. The snapshot is immutable; the live store clones a shard's maps
-// before its next mutation to that shard. See the package comment for the
-// per-shard consistency caveat under concurrent writers.
+// size. The snapshot is immutable; the live store clones a shard's table
+// and page map before its next mutation to that shard. See the package
+// comment for the per-shard consistency caveat under concurrent writers.
 func (g *ShardedCI) Snapshot() *CISnapshot {
 	p := len(g.shards)
 	snap := &CISnapshot{
-		edges:      make([]map[uint64]uint32, p),
+		edges:      make([]*EdgeTable, p),
 		pages:      make([]map[VertexID]uint32, p),
 		versions:   make([]uint64, p),
 		mask:       g.mask,
 		storeID:    g.id,
 		numSignals: g.numSignals,
-	}
-	if g.numSignals > 0 {
-		snap.sig = make([][]map[uint64]uint32, p)
 	}
 	for i := range g.shards {
 		sh := &g.shards[i]
@@ -358,11 +406,6 @@ func (g *ShardedCI) Snapshot() *CISnapshot {
 		sh.shared = true
 		snap.edges[i] = sh.edges
 		snap.pages[i] = sh.pages
-		if snap.sig != nil {
-			// own() replaces the whole slice along with the maps, so the
-			// snapshot's view of the breakdown freezes with the edges.
-			snap.sig[i] = sh.sig
-		}
 		snap.versions[i] = sh.version
 		sh.mu.Unlock()
 	}
@@ -379,7 +422,7 @@ func (g *ShardedCI) Weight(u, v VertexID) uint32 {
 	key := PackEdge(u, v)
 	sh := &g.shards[g.EdgeShard(key)]
 	sh.mu.RLock()
-	w := sh.edges[key]
+	w := sh.edges.Get(key)
 	sh.mu.RUnlock()
 	return w
 }
@@ -399,7 +442,7 @@ func (g *ShardedCI) NumEdges() int {
 	for i := range g.shards {
 		sh := &g.shards[i]
 		sh.mu.RLock()
-		n += len(sh.edges)
+		n += sh.edges.Len()
 		sh.mu.RUnlock()
 	}
 	return n
@@ -426,11 +469,12 @@ func (g *ShardedCI) MaxWeight() uint32 {
 	for i := range g.shards {
 		sh := &g.shards[i]
 		sh.mu.RLock()
-		for _, w := range sh.edges {
+		sh.edges.ForEach(func(_ uint64, w uint32) bool {
 			if w > mw {
 				mw = w
 			}
-		}
+			return true
+		})
 		sh.mu.RUnlock()
 	}
 	return mw
@@ -442,14 +486,19 @@ func (g *ShardedCI) ForEachEdge(fn func(u, v VertexID, w uint32) bool) {
 	for i := range g.shards {
 		sh := &g.shards[i]
 		sh.mu.RLock()
-		for key, w := range sh.edges {
+		stop := false
+		sh.edges.ForEach(func(key uint64, w uint32) bool {
 			u, v := UnpackEdge(key)
 			if !fn(u, v, w) {
-				sh.mu.RUnlock()
-				return
+				stop = true
+				return false
 			}
-		}
+			return true
+		})
 		sh.mu.RUnlock()
+		if stop {
+			return
+		}
 	}
 }
 
@@ -471,21 +520,21 @@ func (g *ShardedCI) Equal(other CIView) bool { return viewsEqual(g, other) }
 // --- snapshots ----------------------------------------------------------
 
 // CISnapshot is an immutable copy-on-write snapshot of a ShardedCI: one
-// frozen (edge map, page map) pair per shard. It is safe for concurrent
+// frozen (edge table, page map) pair per shard. It is safe for concurrent
 // readers and implements CIView, so surveys and scores run on it directly
 // without materializing a map-backed graph.
 type CISnapshot struct {
-	edges    []map[uint64]uint32
+	edges    []*EdgeTable
 	pages    []map[VertexID]uint32
 	versions []uint64
 	mask     uint64
 	// storeID identifies the ShardedCI this snapshot came from; version
 	// vectors are only comparable between snapshots of the same store.
 	storeID uint64
-	// sig/numSignals freeze the store's per-signal breakdown (signals.go).
-	// Threshold products drop the breakdown — attribution reads go to the
-	// raw snapshot, never to pruned views.
-	sig        [][]map[uint64]uint32
+	// numSignals is the per-signal breakdown width frozen in the shard
+	// tables' share lanes (signals.go). Threshold products drop the
+	// breakdown — attribution reads go to the raw snapshot, never to
+	// pruned views.
 	numSignals int
 }
 
@@ -493,7 +542,7 @@ type CISnapshot struct {
 func (s *CISnapshot) NumShards() int { return len(s.edges) }
 
 // ShardVersions returns the per-shard dirty versions at snapshot time.
-// Two snapshots with an equal version share that shard's maps by
+// Two snapshots with an equal version share that shard's table by
 // reference — the COW invariant the property tests pin down.
 func (s *CISnapshot) ShardVersions() []uint64 {
 	out := make([]uint64, len(s.versions))
@@ -505,7 +554,7 @@ func (s *CISnapshot) ShardVersions() []uint64 {
 // store: it returns the set of vertices incident to any edge added,
 // evicted, or reweighted between the two snapshots — the dirty frontier a
 // delta survey re-enumerates — plus the number of shards whose version
-// advanced. Shards with an equal version share their maps by reference
+// advanced. Shards with an equal version share their tables by reference
 // (the COW invariant) and are skipped without diffing, so the cost is
 // proportional to the dirtied shards, not the snapshot. ok is false when
 // the snapshots are not comparable (nil prev, a different store, or
@@ -525,24 +574,26 @@ func (s *CISnapshot) DirtyVertices(prev *CISnapshot) (dirty map[VertexID]bool, d
 		}
 		dirtyShards++
 		cur, old := s.edges[i], prev.edges[i]
-		for key, w := range cur {
-			if old[key] != w {
+		cur.ForEach(func(key uint64, w uint32) bool {
+			if old.Get(key) != w {
 				u, v := UnpackEdge(key)
 				dirty[u], dirty[v] = true, true
 			}
-		}
-		for key := range old {
-			if _, live := cur[key]; !live {
+			return true
+		})
+		old.ForEach(func(key uint64, _ uint32) bool {
+			if !cur.Has(key) {
 				u, v := UnpackEdge(key)
 				dirty[u], dirty[v] = true, true
 			}
-		}
+			return true
+		})
 	}
 	return dirty, dirtyShards, true
 }
 
 // ThresholdDelta computes ThresholdView(minW) incrementally: shards
-// unchanged since prev reuse prevPruned's already-filtered map by
+// unchanged since prev reuse prevPruned's already-filtered table by
 // reference, and only dirtied shards are re-filtered — O(dirtied shards)
 // instead of O(edges) per survey cycle. prevPruned must be the minW
 // threshold of prev (a prior ThresholdView/ThresholdDelta product); when
@@ -560,7 +611,7 @@ func (s *CISnapshot) ThresholdDelta(prev, prevPruned *CISnapshot, minW uint32) *
 	}
 	p := len(s.edges)
 	out := &CISnapshot{
-		edges:    make([]map[uint64]uint32, p),
+		edges:    make([]*EdgeTable, p),
 		pages:    s.pages,
 		versions: s.versions,
 		mask:     s.mask,
@@ -573,13 +624,25 @@ func (s *CISnapshot) ThresholdDelta(prev, prevPruned *CISnapshot, minW uint32) *
 			out.edges[i] = prevPruned.edges[i]
 			continue
 		}
-		kept := make(map[uint64]uint32)
-		for key, w := range s.edges[i] {
-			if w >= minW {
-				kept[key] = w
-			}
+		out.edges[i] = s.edges[i].threshold(minW)
+	}
+	return out
+}
+
+// threshold returns a fresh untracked table holding t's entries with
+// weight >= minW, sized exactly (two passes: count, then insert).
+func (t *EdgeTable) threshold(minW uint32) *EdgeTable {
+	kept := 0
+	for i, k := range t.keys {
+		if k != 0 && t.w[i] >= minW {
+			kept++
 		}
-		out.edges[i] = kept
+	}
+	out := NewEdgeTable(kept, 0)
+	for i, k := range t.keys {
+		if k != 0 && t.w[i] >= minW {
+			out.Add(k, t.w[i])
+		}
 	}
 	return out
 }
@@ -590,7 +653,7 @@ func (s *CISnapshot) Weight(u, v VertexID) uint32 {
 		return 0
 	}
 	key := PackEdge(u, v)
-	return s.edges[mix64(key)&s.mask][key]
+	return s.edges[mix64(key)&s.mask].Get(key)
 }
 
 // PageCount returns P'_u.
@@ -601,8 +664,8 @@ func (s *CISnapshot) PageCount(u VertexID) uint32 {
 // NumEdges returns |I|.
 func (s *CISnapshot) NumEdges() int {
 	n := 0
-	for _, m := range s.edges {
-		n += len(m)
+	for _, t := range s.edges {
+		n += t.Len()
 	}
 	return n
 }
@@ -619,12 +682,13 @@ func (s *CISnapshot) NumAuthors() int {
 // NumVertices returns the number of authors with at least one CI edge.
 func (s *CISnapshot) NumVertices() int {
 	seen := make(map[VertexID]struct{})
-	for _, m := range s.edges {
-		for key := range m {
+	for _, t := range s.edges {
+		t.ForEach(func(key uint64, _ uint32) bool {
 			u, v := UnpackEdge(key)
 			seen[u] = struct{}{}
 			seen[v] = struct{}{}
-		}
+			return true
+		})
 	}
 	return len(seen)
 }
@@ -632,24 +696,31 @@ func (s *CISnapshot) NumVertices() int {
 // MaxWeight returns the largest edge weight.
 func (s *CISnapshot) MaxWeight() uint32 {
 	var mw uint32
-	for _, m := range s.edges {
-		for _, w := range m {
+	for _, t := range s.edges {
+		t.ForEach(func(_ uint64, w uint32) bool {
 			if w > mw {
 				mw = w
 			}
-		}
+			return true
+		})
 	}
 	return mw
 }
 
 // ForEachEdge iterates every edge in unspecified order.
 func (s *CISnapshot) ForEachEdge(fn func(u, v VertexID, w uint32) bool) {
-	for _, m := range s.edges {
-		for key, w := range m {
+	for _, t := range s.edges {
+		stop := false
+		t.ForEach(func(key uint64, w uint32) bool {
 			u, v := UnpackEdge(key)
 			if !fn(u, v, w) {
-				return
+				stop = true
+				return false
 			}
+			return true
+		})
+		if stop {
+			return
 		}
 	}
 }
@@ -657,11 +728,12 @@ func (s *CISnapshot) ForEachEdge(fn func(u, v VertexID, w uint32) bool) {
 // Edges returns all edges, sorted by (U, V).
 func (s *CISnapshot) Edges() []WeightedEdge {
 	out := make([]WeightedEdge, 0, s.NumEdges())
-	for _, m := range s.edges {
-		for key, w := range m {
+	for _, t := range s.edges {
+		t.ForEach(func(key uint64, w uint32) bool {
 			u, v := UnpackEdge(key)
 			out = append(out, WeightedEdge{U: u, V: v, W: w})
-		}
+			return true
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].U != out[j].U {
@@ -684,7 +756,7 @@ func (s *CISnapshot) PageCounts() map[VertexID]uint32 {
 }
 
 // ThresholdView filters shards in parallel, returning a new snapshot whose
-// edge maps keep only weights >= minW. Page maps are shared by reference
+// edge tables keep only weights >= minW. Page maps are shared by reference
 // (frozen, and P' is unaffected by edge pruning).
 func (s *CISnapshot) ThresholdView(minW uint32) CIView {
 	if minW <= 1 {
@@ -692,20 +764,14 @@ func (s *CISnapshot) ThresholdView(minW uint32) CIView {
 	}
 	p := len(s.edges)
 	out := &CISnapshot{
-		edges:    make([]map[uint64]uint32, p),
+		edges:    make([]*EdgeTable, p),
 		pages:    s.pages,
 		versions: s.versions,
 		mask:     s.mask,
 		storeID:  s.storeID,
 	}
 	parallelShards(p, func(i int) {
-		kept := make(map[uint64]uint32)
-		for key, w := range s.edges[i] {
-			if w >= minW {
-				kept[key] = w
-			}
-		}
-		out.edges[i] = kept
+		out.edges[i] = s.edges[i].threshold(minW)
 	})
 	return out
 }
@@ -714,21 +780,22 @@ func (s *CISnapshot) ThresholdView(minW uint32) CIView {
 // form, for tests and interop with map-only callers).
 func (s *CISnapshot) Materialize() *CIGraph {
 	out := NewCIGraphSignals(s.numSignals)
-	for _, m := range s.edges {
-		for key, w := range m {
-			out.edges[key] = w
+	for _, t := range s.edges {
+		for i, k := range t.keys {
+			if k == 0 {
+				continue
+			}
+			out.edges[k] = t.w[i]
+			for si := 0; si < t.nsig; si++ {
+				if share := t.sig[i*t.nsig+si]; share != 0 {
+					out.sig[si][k] += share
+				}
+			}
 		}
 	}
 	for _, m := range s.pages {
 		for v, n := range m {
 			out.pageCounts[v] = n
-		}
-	}
-	for _, shard := range s.sig {
-		for si, m := range shard {
-			for key, w := range m {
-				out.sig[si][key] += w
-			}
 		}
 	}
 	return out
@@ -780,11 +847,12 @@ func (s *CISnapshot) BuildAdjacency() *Adjacency {
 	perShard := make([][]VertexID, p)
 	parallelShards(p, func(i int) {
 		seen := make(map[VertexID]struct{})
-		for key := range s.edges[i] {
+		s.edges[i].ForEach(func(key uint64, _ uint32) bool {
 			u, v := UnpackEdge(key)
 			seen[u] = struct{}{}
 			seen[v] = struct{}{}
-		}
+			return true
+		})
 		vs := make([]VertexID, 0, len(seen))
 		for v := range seen {
 			vs = append(vs, v)
@@ -820,11 +888,12 @@ func (s *CISnapshot) BuildAdjacency() *Adjacency {
 	// Phase 2: degree counts (atomic, shard-parallel).
 	deg := make([]int32, n)
 	parallelShards(p, func(i int) {
-		for key := range s.edges[i] {
+		s.edges[i].ForEach(func(key uint64, _ uint32) bool {
 			u, v := UnpackEdge(key)
 			atomic.AddInt32(&deg[dense[u]], 1)
 			atomic.AddInt32(&deg[dense[v]], 1)
-		}
+			return true
+		})
 	})
 	for i := 0; i < n; i++ {
 		adj.Off[i+1] = adj.Off[i] + int(deg[i])
@@ -836,14 +905,15 @@ func (s *CISnapshot) BuildAdjacency() *Adjacency {
 	// Phase 3: CSR fill with atomic per-vertex cursors.
 	cursor := make([]int32, n)
 	parallelShards(p, func(i int) {
-		for key, wgt := range s.edges[i] {
+		s.edges[i].ForEach(func(key uint64, wgt uint32) bool {
 			u, v := UnpackEdge(key)
 			du, dv := dense[u], dense[v]
 			at := adj.Off[du] + int(atomic.AddInt32(&cursor[du], 1)) - 1
 			adj.Nbr[at], adj.Wt[at] = dv, wgt
 			at = adj.Off[dv] + int(atomic.AddInt32(&cursor[dv], 1)) - 1
 			adj.Nbr[at], adj.Wt[at] = du, wgt
-		}
+			return true
+		})
 	})
 
 	// Phase 4: sort each neighbor list (with parallel weights), fanning

@@ -14,15 +14,17 @@ func bruteDirty(cur, prev *CISnapshot) map[VertexID]bool {
 	dirty := make(map[VertexID]bool)
 	curW := make(map[uint64]uint32)
 	for _, m := range cur.edges {
-		for k, w := range m {
+		m.ForEach(func(k uint64, w uint32) bool {
 			curW[k] = w
-		}
+			return true
+		})
 	}
 	prevW := make(map[uint64]uint32)
 	for _, m := range prev.edges {
-		for k, w := range m {
+		m.ForEach(func(k uint64, w uint32) bool {
 			prevW[k] = w
-		}
+			return true
+		})
 	}
 	for k, w := range curW {
 		if prevW[k] != w {
@@ -259,8 +261,8 @@ func TestUpdateShardCOW(t *testing.T) {
 	for g.VertexShard(pv) != i {
 		pv++
 	}
-	g.UpdateShard(i, func(edges map[uint64]uint32, pages map[VertexID]uint32) {
-		edges[key] += 3
+	g.UpdateShard(i, func(edges *EdgeTable, pages map[VertexID]uint32) {
+		edges.Add(key, 3)
 		pages[pv] = 2
 	})
 	if s1.Weight(1, 2) != 7 {

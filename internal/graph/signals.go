@@ -9,11 +9,14 @@
 // incremental machinery is oblivious to how many signals fed an edge.
 //
 // What this file adds is the breakdown behind that view: a store created
-// with a signal count >= 2 keeps, per shard, one side map per signal
-// holding that signal's share of each edge's total weight. The breakdown
-// is attribution metadata — it rides the same copy-on-write discipline as
-// the edge maps (frozen by Snapshot, cloned by own), is withdrawn in the
-// same eviction waves, and is never consulted by Equal, Threshold, or the
+// with a signal count >= 2 keeps each signal's share of each edge's total
+// weight. In the map-backed reference graph the shares live in side maps;
+// in the sharded store they are the EdgeTable's inline stride-numSignals
+// share lanes, so attributing an increment or reading a breakdown costs
+// the same single probe as the total itself. The breakdown is attribution
+// metadata — it rides the same copy-on-write discipline as the edge
+// tables (frozen by Snapshot, cloned by own), is withdrawn in the same
+// eviction waves, and is never consulted by Equal, Threshold, or the
 // snapshot diffs. Single-signal stores allocate nothing and behave
 // bit-identically to the pre-signal code.
 package graph
@@ -73,38 +76,25 @@ func (g *CIGraph) MergeSignal(other *CIGraph, si int) {
 // --- sharded store ------------------------------------------------------
 
 // NewShardedCISignals is NewShardedCI plus a per-signal weight breakdown
-// kept per shard for numSignals signals; numSignals < 2 disables tracking
-// and is equivalent to NewShardedCI.
+// kept in each shard table's share lanes for numSignals signals;
+// numSignals < 2 disables tracking and is equivalent to NewShardedCI.
 func NewShardedCISignals(n, numSignals int) *ShardedCI {
-	g := NewShardedCI(n)
-	if numSignals >= 2 {
-		g.numSignals = numSignals
-		for i := range g.shards {
-			sh := &g.shards[i]
-			sh.sig = make([]map[uint64]uint32, numSignals)
-			for si := range sh.sig {
-				sh.sig[si] = make(map[uint64]uint32)
-			}
-		}
-	}
-	return g
+	return newShardedCI(n, numSignals)
 }
 
 // NumSignals returns the breakdown width (0 when untracked).
 func (g *ShardedCI) NumSignals() int { return g.numSignals }
 
 // AddEdgeWeightSig adds w to edge {u,v} and attributes it to signal si
-// under one shard lock acquisition. On an untracked store it is exactly
-// AddEdgeWeight — the single-signal ingest hot path pays nothing.
+// under one shard lock acquisition and one table probe. On an untracked
+// store it is exactly AddEdgeWeight — the single-signal ingest hot path
+// pays nothing.
 func (g *ShardedCI) AddEdgeWeightSig(u, v VertexID, w uint32, si int) {
 	key := PackEdge(u, v)
 	sh := &g.shards[g.EdgeShard(key)]
 	sh.mu.Lock()
 	sh.own()
-	sh.edges[key] += w
-	if sh.sig != nil {
-		sh.sig[si][key] += w
-	}
+	sh.edges.AddSig(key, w, si)
 	sh.version++
 	sh.mu.Unlock()
 	g.version.Add(1)
@@ -121,28 +111,9 @@ func (g *ShardedCI) SignalWeights(u, v VertexID) []uint32 {
 	sh := &g.shards[g.EdgeShard(key)]
 	out := make([]uint32, g.numSignals)
 	sh.mu.RLock()
-	for si, m := range sh.sig {
-		out[si] = m[key]
-	}
+	sh.edges.SignalShares(key, out)
 	sh.mu.RUnlock()
 	return out
-}
-
-// UpdateShardSig is UpdateShard with signal attribution: fn additionally
-// receives signal si's breakdown map for shard i (nil when the store
-// tracks none) under the same lock. Same routing contract as UpdateShard.
-func (g *ShardedCI) UpdateShardSig(i, si int, fn func(edges, sigEdges map[uint64]uint32, pages map[VertexID]uint32)) {
-	sh := &g.shards[i]
-	sh.mu.Lock()
-	sh.own()
-	var sm map[uint64]uint32
-	if sh.sig != nil {
-		sm = sh.sig[si]
-	}
-	fn(sh.edges, sm, sh.pages)
-	sh.version++
-	sh.mu.Unlock()
-	g.version.Add(1)
 }
 
 // SubShardDeltaSignals is SubShardDelta extended with the wave's
@@ -188,11 +159,8 @@ func (s *CISnapshot) SignalWeights(u, v VertexID) []uint32 {
 		return nil
 	}
 	key := PackEdge(u, v)
-	shard := s.sig[mix64(key)&s.mask]
 	out := make([]uint32, s.numSignals)
-	for si, m := range shard {
-		out[si] = m[key]
-	}
+	s.edges[mix64(key)&s.mask].SignalShares(key, out)
 	return out
 }
 
@@ -211,9 +179,7 @@ func (s *CISnapshot) SignalMix(members []VertexID) []uint64 {
 				continue
 			}
 			key := PackEdge(members[i], members[j])
-			for si, m := range s.sig[mix64(key)&s.mask] {
-				out[si] += uint64(m[key])
-			}
+			s.edges[mix64(key)&s.mask].AddSignalShares(key, out)
 		}
 	}
 	return out

@@ -175,7 +175,7 @@ func projectObjectsSharded(g *graph.ShardedCI, si, numObjects int, nbhd func(int
 				if empty {
 					continue
 				}
-				g.UpdateShardSig(s, si, func(edges, sigEdges map[uint64]uint32, pages map[graph.VertexID]uint32) {
+				g.UpdateShard(s, func(edges *graph.EdgeTable, pages map[graph.VertexID]uint32) {
 					for r := range logs {
 						seg := logs[r].edges[logs[r].edgeOff[s]:logs[r].edgeOff[s+1]]
 						for k := 0; k < len(seg); {
@@ -183,11 +183,7 @@ func projectObjectsSharded(g *graph.ShardedCI, si, numObjects int, nbhd func(int
 							for run < len(seg) && seg[run].key == seg[k].key {
 								run++
 							}
-							add := uint32(run-k) * wgt
-							edges[seg[k].key] += add
-							if sigEdges != nil {
-								sigEdges[seg[k].key] += add
-							}
+							edges.AddSig(seg[k].key, uint32(run-k)*wgt, si)
 							k = run
 						}
 						pseg := logs[r].pages[logs[r].pageOff[s]:logs[r].pageOff[s+1]]

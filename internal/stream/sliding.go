@@ -55,6 +55,7 @@ package stream
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"coordbot/internal/graph"
@@ -103,14 +104,20 @@ type SlidingProjector struct {
 	finished bool
 	count    int64
 
-	// wave is the reusable merged eviction-wave scratch, routed to shards
-	// via the shard* scratch below (applyWave).
-	wave       wave
-	shardEdges []map[uint64]uint32
-	shardSig   [][]map[uint64]uint32
-	shardPages []map[graph.VertexID]uint32
-	touched    []int
-	pageOnly   []int
+	// wave is the reusable merged eviction-wave scratch: flat decrement
+	// logs with the owning shard precomputed at push time (on the lane
+	// goroutines, in batch mode). applyWave counting-sorts them by shard
+	// and aggregates each shard's segment into the store's flat batch API
+	// through the sort/out scratch below — all recycled between waves, so
+	// steady-state eviction allocates nothing.
+	wave     wave
+	edgeOff  []int // len shards+1: counting-sort offsets, then cursors
+	pageOff  []int
+	sortEdge []edgeDec // shard-ordered permutation of wave.edges
+	sortPage []pageDec
+	outEdges []graph.EdgeDelta // one shard's aggregated decrements
+	outSig   []uint32          // stride len(sigs) shares, aligned with outEdges
+	outPages []graph.PageDelta
 
 	// patchSink, when set, receives every eviction wave's edge transitions
 	// as one sorted patch batch (SetEvictionPatchSink).
@@ -172,50 +179,44 @@ type slidingPage struct {
 	lastTS int64
 }
 
-// wave accumulates one eviction wave's decrements: total per edge,
-// per-signal shares (multi-signal projectors only), and page counts.
-// Waves are recycled with clear(), so steady-state eviction allocates
-// nothing.
-type wave struct {
-	edges map[uint64]uint32
-	sig   []map[uint64]uint32
-	pages map[graph.VertexID]uint32
+// edgeDec is one evicted (signal, object, pair) contribution in a wave:
+// the packed edge key, its owning shard (precomputed where the eviction
+// is discovered, so batch mode pays the route hash on the lane
+// goroutines), and the signal it came from. The decrement amount is
+// implied — it is always that signal's weight — so the log stays a flat
+// 16-byte record and aggregation is a run-length sum at apply time.
+type edgeDec struct {
+	key   uint64
+	shard int32
+	si    int32
 }
 
-func (w *wave) init(nsig int, track bool) {
-	w.edges = make(map[uint64]uint32)
-	w.pages = make(map[graph.VertexID]uint32)
-	if track {
-		w.sig = make([]map[uint64]uint32, nsig)
-		for i := range w.sig {
-			w.sig[i] = make(map[uint64]uint32)
-		}
-	}
+// pageDec is one author's P' decrement in a wave (always by 1: the
+// author's last live pair on some object expired).
+type pageDec struct {
+	v     graph.VertexID
+	shard int32
+}
+
+// wave accumulates one eviction wave's decrements as flat append logs.
+// Waves are recycled by truncation, so steady-state eviction allocates
+// nothing.
+type wave struct {
+	edges []edgeDec
+	pages []pageDec
 }
 
 func (w *wave) empty() bool { return len(w.edges) == 0 && len(w.pages) == 0 }
 
 func (w *wave) reset() {
-	clear(w.edges)
-	clear(w.pages)
-	for _, m := range w.sig {
-		clear(m)
-	}
+	w.edges = w.edges[:0]
+	w.pages = w.pages[:0]
 }
 
 // merge folds src into w (batch mode: lane waves into the batch wave).
 func (w *wave) merge(src *wave) {
-	for k, n := range src.edges {
-		w.edges[k] += n
-	}
-	for v, n := range src.pages {
-		w.pages[v] += n
-	}
-	for si, m := range src.sig {
-		for k, n := range m {
-			w.sig[si][k] += n
-		}
-	}
+	w.edges = append(w.edges, src.edges...)
+	w.pages = append(w.pages, src.pages...)
 }
 
 // mix64 is the splitmix64 finalizer — the same striping the sharded
@@ -316,13 +317,10 @@ func NewMultiSlidingProjectorWorkers(sigs []SignalConfig, horizon int64, opts pr
 				idle:    newExpiryRing(m.w.Max),
 			}
 		}
-		ln.wave.init(len(sigs), p.track)
 	}
-	p.wave.init(len(sigs), p.track)
 	ns := p.g.NumShards()
-	p.shardEdges = make([]map[uint64]uint32, ns)
-	p.shardSig = make([][]map[uint64]uint32, ns)
-	p.shardPages = make([]map[graph.VertexID]uint32, ns)
+	p.edgeOff = make([]int, ns+1)
+	p.pageOff = make([]int, ns+1)
 	return p, nil
 }
 
@@ -672,10 +670,7 @@ func (p *SlidingProjector) evictLane(ln *lane, wm int64, w *wave) {
 				return // stale entry: refreshed or already gone
 			}
 			delete(ps.live, e.key)
-			w.edges[e.key] += m.weight
-			if p.track {
-				w.sig[si][e.key] += m.weight
-			}
+			w.edges = append(w.edges, edgeDec{key: e.key, shard: int32(p.g.EdgeShard(e.key)), si: int32(si)})
 			sl.live--
 			sl.evicted++
 			u, v := graph.UnpackEdge(e.key)
@@ -683,7 +678,7 @@ func (p *SlidingProjector) evictLane(ln *lane, wm int64, w *wave) {
 				ps.incident[a]--
 				if ps.incident[a] == 0 {
 					delete(ps.incident, a)
-					w.pages[a]++
+					w.pages = append(w.pages, pageDec{v: a, shard: int32(p.g.VertexShard(a))})
 				}
 			}
 			// Buffered comments older than w.Max behind the watermark can
@@ -714,87 +709,131 @@ func (p *SlidingProjector) evictLane(ln *lane, wm int64, w *wave) {
 	}
 }
 
-// applyWave routes one eviction wave's accumulated edge and page
-// decrements (and, on multi-signal projectors, the per-signal shares of
-// each edge decrement) to their owning shards and withdraws each shard's
-// batch under a single lock acquisition. The per-shard routing maps are
-// recycled between waves. With a patch sink installed the per-shard
-// withdrawals also record each edge's TOTAL weight transition, and the
-// wave's combined batch is delivered to the sink sorted by (U, V) — one
-// patch per edge per wave regardless of how many signals contributed,
-// preserving the contract of graph.SortEdgePatches.
+// applyWave withdraws one eviction wave from the store: the flat
+// decrement logs are counting-sorted into shard-contiguous segments
+// (shards were precomputed at push time), each shard's edge segment is
+// key-sorted and run-length aggregated into one flat batch — total per
+// edge plus, on multi-signal projectors, the stride-len(sigs) per-signal
+// shares, each log entry contributing its signal's weight — and the batch
+// is withdrawn under a single shard lock acquisition and version bump
+// (SubShardBatch). All sort and aggregation scratch is recycled between
+// waves. With a patch sink installed the per-shard withdrawals also
+// record each edge's TOTAL weight transition, and the wave's combined
+// batch is delivered to the sink sorted by (U, V) — one patch per edge
+// per wave regardless of how many signals contributed, preserving the
+// contract of graph.SortEdgePatches.
 func (p *SlidingProjector) applyWave(w *wave) {
-	p.touched = p.touched[:0]
-	p.pageOnly = p.pageOnly[:0]
-	for key, n := range w.edges {
-		i := p.g.EdgeShard(key)
-		m := p.shardEdges[i]
-		if m == nil {
-			m = make(map[uint64]uint32)
-			p.shardEdges[i] = m
-		}
-		if len(m) == 0 {
-			p.touched = append(p.touched, i)
-		}
-		m[key] = n
+	ns := p.g.NumShards()
+
+	// Counting sort both logs by shard. After the scatter loops the
+	// cursors have advanced one segment forward, i.e. edgeOff[s] holds
+	// segment s's END — so segment s spans [edgeOff[s-1], edgeOff[s]) with
+	// edgeOff[-1] == 0, read below as [prevE, edgeOff[s]).
+	for i := range p.edgeOff {
+		p.edgeOff[i] = 0
+		p.pageOff[i] = 0
 	}
+	for _, e := range w.edges {
+		p.edgeOff[e.shard+1]++
+	}
+	for _, pg := range w.pages {
+		p.pageOff[pg.shard+1]++
+	}
+	for s := 0; s < ns; s++ {
+		p.edgeOff[s+1] += p.edgeOff[s]
+		p.pageOff[s+1] += p.pageOff[s]
+	}
+	if cap(p.sortEdge) < len(w.edges) {
+		p.sortEdge = make([]edgeDec, len(w.edges))
+	}
+	p.sortEdge = p.sortEdge[:len(w.edges)]
+	if cap(p.sortPage) < len(w.pages) {
+		p.sortPage = make([]pageDec, len(w.pages))
+	}
+	p.sortPage = p.sortPage[:len(w.pages)]
+	for _, e := range w.edges {
+		p.sortEdge[p.edgeOff[e.shard]] = e
+		p.edgeOff[e.shard]++
+	}
+	for _, pg := range w.pages {
+		p.sortPage[p.pageOff[pg.shard]] = pg
+		p.pageOff[pg.shard]++
+	}
+
+	nsig := 0
 	if p.track {
-		for si, dec := range w.sig {
-			for key, n := range dec {
-				i := p.g.EdgeShard(key)
-				sl := p.shardSig[i]
-				if sl == nil {
-					sl = make([]map[uint64]uint32, len(p.sigs))
-					p.shardSig[i] = sl
-				}
-				if sl[si] == nil {
-					sl[si] = make(map[uint64]uint32)
-				}
-				sl[si][key] = n
-			}
-		}
-	}
-	for v, n := range w.pages {
-		i := p.g.VertexShard(v)
-		m := p.shardPages[i]
-		if m == nil {
-			m = make(map[graph.VertexID]uint32)
-			p.shardPages[i] = m
-		}
-		if len(m) == 0 && len(p.shardEdges[i]) == 0 {
-			p.pageOnly = append(p.pageOnly, i)
-		}
-		m[v] = n
+		nsig = len(p.sigs)
 	}
 	var patches []graph.EdgePatch
-	for _, i := range p.touched {
-		var sig []map[uint64]uint32
-		if p.track {
-			sig = p.shardSig[i]
+	prevE, prevP := 0, 0
+	for s := 0; s < ns; s++ {
+		seg := p.sortEdge[prevE:p.edgeOff[s]]
+		pseg := p.sortPage[prevP:p.pageOff[s]]
+		prevE, prevP = p.edgeOff[s], p.pageOff[s]
+		if len(seg) == 0 && len(pseg) == 0 {
+			continue
 		}
-		if p.patchSink != nil {
-			patches = p.g.SubShardDeltaSignalsPatches(i, p.shardEdges[i], sig, p.shardPages[i], patches)
-		} else {
-			p.g.SubShardDeltaSignals(i, p.shardEdges[i], sig, p.shardPages[i])
-		}
-		clear(p.shardEdges[i])
-		if sig != nil {
-			for _, m := range sig {
-				if m != nil {
-					clear(m)
+
+		// Aggregate the edge segment: sort by key (si order within a key is
+		// irrelevant — shares are summed), then one EdgeDelta per distinct
+		// key with the signal shares scattered into the aligned stride.
+		slices.SortFunc(seg, func(a, b edgeDec) int {
+			if a.key < b.key {
+				return -1
+			}
+			if a.key > b.key {
+				return 1
+			}
+			return 0
+		})
+		p.outEdges = p.outEdges[:0]
+		p.outSig = p.outSig[:0]
+		for k := 0; k < len(seg); {
+			key := seg[k].key
+			base := len(p.outSig)
+			for j := 0; j < nsig; j++ {
+				p.outSig = append(p.outSig, 0)
+			}
+			var tot uint32
+			for ; k < len(seg) && seg[k].key == key; k++ {
+				wgt := p.sigs[seg[k].si].weight
+				tot += wgt
+				if nsig > 0 {
+					p.outSig[base+int(seg[k].si)] += wgt
 				}
 			}
+			p.outEdges = append(p.outEdges, graph.EdgeDelta{Key: key, W: tot})
 		}
-		if p.shardPages[i] != nil {
-			clear(p.shardPages[i])
+
+		// Aggregate the page segment: sort by author, run-length count.
+		slices.SortFunc(pseg, func(a, b pageDec) int {
+			if a.v < b.v {
+				return -1
+			}
+			if a.v > b.v {
+				return 1
+			}
+			return 0
+		})
+		p.outPages = p.outPages[:0]
+		for k := 0; k < len(pseg); {
+			v := pseg[k].v
+			var n uint32
+			for ; k < len(pseg) && pseg[k].v == v; k++ {
+				n++
+			}
+			p.outPages = append(p.outPages, graph.PageDelta{V: v, N: n})
 		}
-	}
-	for _, i := range p.pageOnly {
-		if len(p.shardPages[i]) == 0 {
-			continue // drained by an edge shard above
+
+		sig := p.outSig
+		if nsig == 0 {
+			sig = nil
 		}
-		p.g.SubShardDelta(i, nil, p.shardPages[i])
-		clear(p.shardPages[i])
+		if p.patchSink != nil {
+			patches = p.g.SubShardBatchPatches(s, p.outEdges, sig, p.outPages, patches)
+		} else {
+			p.g.SubShardBatch(s, p.outEdges, sig, p.outPages)
+		}
 	}
 	if p.patchSink != nil && len(patches) > 0 {
 		graph.SortEdgePatches(patches)

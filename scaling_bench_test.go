@@ -278,12 +278,12 @@ func TestWriteDetectdBench(t *testing.T) {
 	survey := testing.Benchmark(BenchmarkDetectdSurvey)
 	report := map[string]any{
 		"benchmark": "detectd",
-		"corpus": map[string]any{
+		"corpus": benchRuntime(map[string]any{
 			"comments":    detectdBenchComments,
 			"span_days":   14,
 			"horizon_sec": 6 * 3600,
 			"window_sec":  60,
-		},
+		}, 0, 0),
 		"ingest": map[string]any{
 			"comments_per_sec":   ingest.Extra["comments/s"],
 			"ns_per_pass":        ingest.NsPerOp(),
